@@ -1,0 +1,103 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "common/logging.hh"
+
+namespace shmgpu::bench
+{
+
+BenchOptions
+parseOptions(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick") {
+            opts.quick = true;
+        } else if (arg == "--csv") {
+            opts.csv = true;
+        } else if (arg.rfind("--workload=", 0) == 0) {
+            opts.workloadFilter = arg.substr(strlen("--workload="));
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--quick] [--csv] "
+                        "[--workload=NAME]\n",
+                        argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            std::exit(2);
+        }
+    }
+    // Benchmarks stay quiet unless something is wrong.
+    log_detail::setVerbose(false);
+    return opts;
+}
+
+std::vector<const workload::WorkloadSpec *>
+BenchOptions::workloads() const
+{
+    std::vector<const workload::WorkloadSpec *> out;
+    for (const auto &w : workload::allWorkloads()) {
+        if (workloadFilter.empty() || w.name == workloadFilter)
+            out.push_back(&w);
+    }
+    if (out.empty())
+        shm_fatal("no workload matches '{}'", workloadFilter);
+    return out;
+}
+
+gpu::GpuParams
+BenchOptions::gpuParams() const
+{
+    gpu::GpuParams p;
+    p.maxCyclesPerKernel = quick ? 25000 : 100000;
+    return p;
+}
+
+TextTable
+schemeSweep(const BenchOptions &options, core::Experiment &experiment,
+            const std::vector<schemes::Scheme> &designs,
+            double (*metric)(const core::ExperimentResult &),
+            int precision)
+{
+    std::vector<std::string> header = {"workload"};
+    for (schemes::Scheme s : designs)
+        header.push_back(schemes::schemeName(s));
+    TextTable table(header);
+
+    std::vector<std::vector<double>> columns(designs.size());
+    for (const auto *w : options.workloads()) {
+        std::vector<std::string> row = {w->name};
+        for (std::size_t i = 0; i < designs.size(); ++i) {
+            auto r = experiment.run(designs[i], *w);
+            double v = metric(r);
+            columns[i].push_back(v);
+            row.push_back(TextTable::num(v, precision));
+        }
+        table.addRow(row);
+    }
+
+    std::vector<std::string> mean_row = {"geomean"};
+    for (const auto &col : columns)
+        mean_row.push_back(
+            TextTable::num(core::geomean(col), precision));
+    table.addRow(mean_row);
+    return table;
+}
+
+void
+emit(const BenchOptions &options, const std::string &title,
+     TextTable &table)
+{
+    std::cout << "\n== " << title << " ==\n";
+    if (options.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+} // namespace shmgpu::bench

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared harness plumbing for the paper-reproduction benches: a
+ * consistent GPU configuration, workload iteration, CLI flags and
+ * table emission.
+ *
+ * Every bench prints the rows/series of one paper table or figure.
+ * Flags accepted by all benches:
+ *   --quick            quarter-length simulations (CI-friendly)
+ *   --workload=NAME    run a single workload
+ *   --csv              emit CSV instead of an aligned table
+ */
+
+#ifndef SHMGPU_BENCH_COMMON_HH
+#define SHMGPU_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "schemes/schemes.hh"
+#include "gpu/params.hh"
+#include "workload/benchmarks.hh"
+
+namespace shmgpu::bench
+{
+
+/** Parsed command-line options. */
+struct BenchOptions
+{
+    bool quick = false;
+    bool csv = false;
+    std::string workloadFilter;
+
+    /** Workloads selected by the filter (all 16 by default). */
+    std::vector<const workload::WorkloadSpec *> workloads() const;
+
+    /** The bench GPU configuration (shorter kernels when quick). */
+    gpu::GpuParams gpuParams() const;
+};
+
+/** Parse argv; exits with usage on unknown flags. */
+BenchOptions parseOptions(int argc, char **argv);
+
+/** Print @p table per the options, preceded by a title line. */
+void emit(const BenchOptions &options, const std::string &title,
+          TextTable &table);
+
+/**
+ * The common shape of Figs. 12/13/15: one row per workload, one
+ * column per scheme, a geomean footer. @p metric extracts the value
+ * from each ExperimentResult.
+ */
+TextTable schemeSweep(const BenchOptions &options,
+                      core::Experiment &experiment,
+                      const std::vector<schemes::Scheme> &designs,
+                      double (*metric)(const core::ExperimentResult &),
+                      int precision = 3);
+
+} // namespace shmgpu::bench
+
+#endif // SHMGPU_BENCH_COMMON_HH

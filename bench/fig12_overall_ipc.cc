@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Reproduces Fig. 12: normalized IPC of the secure GPU memory designs
+ * (Naive, Common_ctr, PSSM, SHM, SHM_upper_bound) over the sixteen
+ * Table-VII workloads, normalized to the GPU without secure memory.
+ *
+ * Paper shape: Naive ~0.46 avg (53.9% overhead), Common_ctr ~0.51,
+ * PSSM ~0.81, SHM ~0.92 (8.09% overhead), upper bound ~0.93.
+ */
+
+#include "bench_common.hh"
+#include "schemes/schemes.hh"
+
+using namespace shmgpu;
+using schemes::Scheme;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    const std::vector<Scheme> designs = {
+        Scheme::Naive, Scheme::CommonCtr, Scheme::Pssm, Scheme::Shm,
+        Scheme::ShmUpperBound,
+    };
+    core::Experiment exp(opts.gpuParams());
+    TextTable table = bench::schemeSweep(
+        opts, exp, designs,
+        [](const core::ExperimentResult &r) { return r.normalizedIpc; });
+    bench::emit(opts, "Fig. 12 — Normalized IPC of secure GPU memory designs", table);
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Reproduces Fig. 13: the contribution of each optimization —
+ * PSSM, PSSM_cctr (adding common counters), SHM_readOnly (adding the
+ * shared read-only counter), SHM (adding dual-granularity MACs) and
+ * SHM_cctr (everything), as normalized IPC.
+ *
+ * Paper shape: each step adds a little; read-only saves counters+BMT
+ * (large for kmeans), dual-granularity MACs save MAC bandwidth.
+ */
+
+#include "bench_common.hh"
+#include "schemes/schemes.hh"
+
+using namespace shmgpu;
+using schemes::Scheme;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    const std::vector<Scheme> designs = {
+        Scheme::Pssm, Scheme::PssmCctr, Scheme::ShmReadOnly,
+        Scheme::Shm, Scheme::ShmCctr,
+    };
+    core::Experiment exp(opts.gpuParams());
+    TextTable table = bench::schemeSweep(
+        opts, exp, designs,
+        [](const core::ExperimentResult &r) { return r.normalizedIpc; });
+    bench::emit(opts, "Fig. 13 — Performance impact of individual optimizations (normalized IPC)", table);
+    return 0;
+}

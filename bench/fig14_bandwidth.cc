@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Fig. 14: security-metadata bandwidth overhead (metadata
+ * bytes + misprediction refetches, relative to regular data bytes)
+ * for Naive, PSSM, SHM_readOnly and SHM, with SHM's per-class split.
+ *
+ * Paper shape: Naive ~189% avg, PSSM ~17.1%, SHM_readOnly ~13.2%,
+ * SHM ~5.95%.
+ */
+
+#include "bench_common.hh"
+#include "schemes/schemes.hh"
+
+using namespace shmgpu;
+using schemes::Scheme;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::parseOptions(argc, argv);
+
+    const std::vector<Scheme> designs = {
+        Scheme::Naive, Scheme::Pssm, Scheme::ShmReadOnly, Scheme::Shm,
+    };
+
+    TextTable table({"workload", "Naive", "PSSM", "SHM_readOnly", "SHM",
+                     "SHM:ctr", "SHM:mac", "SHM:bmt", "SHM:extra"});
+
+    core::Experiment exp(opts.gpuParams());
+    std::vector<std::vector<double>> columns(designs.size());
+
+    for (const auto *w : opts.workloads()) {
+        std::vector<std::string> row = {w->name};
+        gpu::RunMetrics shm_metrics;
+        for (std::size_t i = 0; i < designs.size(); ++i) {
+            auto r = exp.run(designs[i], *w);
+            columns[i].push_back(r.metrics.metadataOverhead());
+            row.push_back(TextTable::pct(r.metrics.metadataOverhead()));
+            if (designs[i] == Scheme::Shm)
+                shm_metrics = r.metrics;
+        }
+        double data = static_cast<double>(shm_metrics.bytesData);
+        auto share = [&](std::uint64_t b) {
+            return TextTable::pct(data > 0 ? b / data : 0);
+        };
+        row.push_back(share(shm_metrics.bytesCounter));
+        row.push_back(share(shm_metrics.bytesMac));
+        row.push_back(share(shm_metrics.bytesBmt));
+        row.push_back(share(shm_metrics.bytesExtra));
+        table.addRow(row);
+    }
+
+    std::vector<std::string> mean_row = {"mean"};
+    for (const auto &col : columns) {
+        double sum = 0;
+        for (double v : col)
+            sum += v;
+        mean_row.push_back(
+            TextTable::pct(sum / static_cast<double>(col.size())));
+    }
+    table.addRow(mean_row);
+
+    bench::emit(opts,
+                "Fig. 14 — Metadata bandwidth overhead relative to "
+                "regular data",
+                table);
+    return 0;
+}

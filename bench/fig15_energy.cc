@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Reproduces Fig. 15: energy per instruction, normalized to the GPU
+ * without secure memory, for Naive, Common_ctr, PSSM and SHM.
+ *
+ * Paper shape: Naive ~2.15x, SHM ~1.06x on average — driven by the
+ * extra DRAM traffic and the longer runtime (leakage).
+ */
+
+#include "bench_common.hh"
+#include "schemes/schemes.hh"
+
+using namespace shmgpu;
+using schemes::Scheme;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    const std::vector<Scheme> designs = {
+        Scheme::Naive, Scheme::CommonCtr, Scheme::Pssm, Scheme::Shm,
+    };
+    core::Experiment exp(opts.gpuParams());
+    TextTable table = bench::schemeSweep(
+        opts, exp, designs,
+        [](const core::ExperimentResult &r) { return r.normalizedEnergyPerInstr; });
+    bench::emit(opts, "Fig. 15 — Normalized energy per instruction", table);
+    return 0;
+}

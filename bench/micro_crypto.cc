@@ -1,0 +1,110 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the crypto substrate: AES-128,
+ * SipHash MACs, CTR-mode block transforms and BMT path updates. These
+ * bound the functional-mode throughput (the timing model charges
+ * fixed engine latencies instead).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes128.hh"
+#include "crypto/ctr_mode.hh"
+#include "crypto/keygen.hh"
+#include "crypto/mac.hh"
+#include "meta/bmt.hh"
+
+using namespace shmgpu;
+using namespace shmgpu::crypto;
+
+static void
+BM_Aes128Block(benchmark::State &state)
+{
+    Aes128 aes(generateKeys(1).encryptionKey);
+    Block16 block{};
+    for (auto _ : state) {
+        block = aes.encrypt(block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Aes128Block);
+
+static void
+BM_CtrModeCacheLine(benchmark::State &state)
+{
+    CtrModeEngine engine(generateKeys(2).encryptionKey);
+    DataBlock data{};
+    std::uint64_t minor = 0;
+    for (auto _ : state) {
+        engine.transform(data, {0x1000, 1, minor++, 0});
+        benchmark::DoNotOptimize(data);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 128);
+}
+BENCHMARK(BM_CtrModeCacheLine);
+
+static void
+BM_SipHashBlockMac(benchmark::State &state)
+{
+    MacEngine engine(generateKeys(3).macKey);
+    DataBlock data{};
+    std::uint64_t minor = 0;
+    for (auto _ : state) {
+        Mac mac = engine.blockMac(data, 0x2000, 1, minor++, 0);
+        benchmark::DoNotOptimize(mac);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 128);
+}
+BENCHMARK(BM_SipHashBlockMac);
+
+static void
+BM_ChunkMac(benchmark::State &state)
+{
+    MacEngine engine(generateKeys(4).macKey);
+    std::vector<Mac> macs(32, 0x1234);
+    for (auto _ : state) {
+        Mac mac = engine.chunkMac(macs, 0x4000, 0);
+        benchmark::DoNotOptimize(mac);
+    }
+}
+BENCHMARK(BM_ChunkMac);
+
+static void
+BM_BmtUpdatePath(benchmark::State &state)
+{
+    meta::LayoutParams lp;
+    lp.dataBytes = 64 << 20;
+    meta::MetadataLayout layout(lp);
+    meta::CounterStore counters(layout);
+    meta::BonsaiTree tree(layout, counters, generateKeys(5).treeKey);
+    std::uint64_t leaf = 0;
+    for (auto _ : state) {
+        counters.increment(leaf * 8192 % (64 << 20));
+        tree.updatePath(leaf % layout.numCounterBlocks());
+        ++leaf;
+    }
+}
+BENCHMARK(BM_BmtUpdatePath);
+
+static void
+BM_BmtVerifyPath(benchmark::State &state)
+{
+    meta::LayoutParams lp;
+    lp.dataBytes = 64 << 20;
+    meta::MetadataLayout layout(lp);
+    meta::CounterStore counters(layout);
+    meta::BonsaiTree tree(layout, counters, generateKeys(6).treeKey);
+    counters.increment(0);
+    tree.updatePath(0);
+    for (auto _ : state) {
+        auto v = tree.verifyPath(0);
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_BmtVerifyPath);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reprints Tables I and II: the security mechanisms (Confidentiality,
+ * Integrity, Freshness) each GPU memory space and application data
+ * class requires, as encoded in requiredGuarantees().
+ */
+
+#include "bench_common.hh"
+#include "common/types.hh"
+
+using namespace shmgpu;
+
+namespace
+{
+
+std::string
+mechanisms(const Guarantees &g)
+{
+    std::string out;
+    if (g.confidentiality)
+        out += "C";
+    if (g.integrity)
+        out += out.empty() ? "I" : " + I";
+    if (g.freshness)
+        out += out.empty() ? "F" : " + F";
+    return out.empty() ? "-" : out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::parseOptions(argc, argv);
+
+    TextTable t1({"Space", "Location", "Mechanisms"});
+    t1.addRow({"Register", "on-chip", "-"});
+    t1.addRow({"Local Memory", "off-chip",
+               mechanisms(requiredGuarantees(MemSpace::Local, false))});
+    t1.addRow({"Shared Memory", "on-chip", "-"});
+    t1.addRow({"Global Memory", "off-chip",
+               mechanisms(requiredGuarantees(MemSpace::Global, false))});
+    t1.addRow({"Constant Memory", "off-chip",
+               mechanisms(requiredGuarantees(MemSpace::Constant, true))});
+    t1.addRow({"Texture Memory", "off-chip",
+               mechanisms(requiredGuarantees(MemSpace::Texture, true))});
+    t1.addRow({"Caches", "on-chip", "-"});
+    bench::emit(opts,
+                "Table I — Security mechanisms for GPU heterogeneous "
+                "memory",
+                t1);
+
+    TextTable t2({"Data", "Property", "Guarantees"});
+    t2.addRow({"Application code", "Read-only",
+               mechanisms(requiredGuarantees(MemSpace::Instruction,
+                                             true))});
+    t2.addRow({"Input", "Read-only",
+               mechanisms(requiredGuarantees(MemSpace::Global, true))});
+    t2.addRow({"Output", "Read/Write",
+               mechanisms(requiredGuarantees(MemSpace::Global, false))});
+    t2.addRow({"In-flight Data", "Read/Write",
+               mechanisms(requiredGuarantees(MemSpace::Global, false))});
+    bench::emit(opts,
+                "Table II — Security mechanisms for application data",
+                t2);
+    return 0;
+}

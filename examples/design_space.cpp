@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Design-space exploration through the public API: sweep a custom
+ * workload's write intensity and streaming share, and report how each
+ * secure-memory design responds — the kind of study a user would run
+ * before picking a scheme for their kernel mix.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hh"
+
+using namespace shmgpu;
+
+namespace
+{
+
+/**
+ * A parameterized kernel: `stream_share` of its input reads are
+ * streaming (the rest random), and every iteration writes the output
+ * with probability `write_prob`.
+ */
+workload::WorkloadSpec
+makeWorkload(double stream_share, double write_prob)
+{
+    workload::WorkloadSpec w;
+    w.name = "sweep";
+    w.suite = "example";
+    w.seed = 99;
+    w.buffers = {
+        {"input", 16u << 20, MemSpace::Global},
+        {"output", 16u << 20, MemSpace::Global},
+    };
+    workload::KernelSpec k;
+    k.name = "sweep_kernel";
+    k.iterationsPerSm = 6144;
+    k.computePerMem = 5;
+    if (stream_share > 0.0)
+        k.streams.push_back({0, workload::Pattern::Streaming, false,
+                             stream_share, 0, 0});
+    if (stream_share < 1.0)
+        k.streams.push_back({0, workload::Pattern::Random, false,
+                             1.0 - stream_share, 0, 0});
+    k.streams.push_back(
+        {1, workload::Pattern::Streaming, true, write_prob, 0, 0});
+    k.preCopies = {{0, true}};
+    w.kernels = {k};
+    return w;
+}
+
+} // namespace
+
+int
+main()
+{
+    gpu::GpuParams gp;
+    gp.maxCyclesPerKernel = 40000;
+
+    const std::vector<schemes::Scheme> designs = {
+        schemes::Scheme::Naive,
+        schemes::Scheme::Pssm,
+        schemes::Scheme::Shm,
+    };
+
+    std::printf("normalized IPC by (streaming share, write prob):\n\n");
+    std::printf("%-22s", "configuration");
+    for (auto s : designs)
+        std::printf("%12s", schemes::schemeName(s));
+    std::printf("\n");
+
+    for (double stream_share : {1.0, 0.75, 0.5, 0.25, 0.0}) {
+        for (double write_prob : {0.05, 0.5}) {
+            core::Experiment exp(gp);
+            auto w = makeWorkload(stream_share, write_prob);
+            std::printf("stream=%.2f write=%.2f  ", stream_share,
+                        write_prob);
+            for (auto s : designs) {
+                auto r = exp.run(s, w);
+                std::printf("%12.3f", r.normalizedIpc);
+            }
+            std::printf("\n");
+        }
+    }
+
+    std::printf("\nreading the table: SHM's advantage peaks for "
+                "streaming, read-mostly kernels\n"
+                "(chunk MACs + the shared read-only counter) and "
+                "narrows as accesses become\n"
+                "random and write-heavy, exactly as the paper's "
+                "Figs. 12-14 report.\n");
+    return 0;
+}

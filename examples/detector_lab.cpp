@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Detector laboratory: drive the paper's two hardware detectors
+ * directly with hand-crafted access sequences and watch their state —
+ * useful for understanding Fig. 7/8 and Tables III/IV before reading
+ * the MEE code.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "detect/readonly.hh"
+#include "detect/streaming.hh"
+
+using namespace shmgpu;
+using namespace shmgpu::detect;
+
+int
+main()
+{
+    std::printf("=== read-only detector (Section IV-B) ===\n");
+    ReadOnlyDetector ro(ReadOnlyDetectorParams{});
+
+    std::printf("before any host copy : region 0 read-only? %s\n",
+                ro.isReadOnly(0) ? "yes" : "no");
+    ro.markInputRegion(0, 64 * 1024); // cudaMemcpy H2D
+    std::printf("after cudaMemcpy     : region 0 read-only? %s\n",
+                ro.isReadOnly(0) ? "yes" : "no");
+    bool transition = ro.recordWrite(128);
+    std::printf("kernel store         : transition=%s, read-only? %s\n",
+                transition ? "yes (propagate shared counter, Fig. 8)"
+                           : "no",
+                ro.isReadOnly(0) ? "yes" : "no");
+    ro.resetReadOnly(0, 64 * 1024); // InputReadOnlyReset API
+    std::printf("InputReadOnlyReset   : region 0 read-only? %s\n\n",
+                ro.isReadOnly(0) ? "yes" : "no");
+
+    std::printf("=== streaming detector (Section IV-C) ===\n");
+    StreamingDetector st(StreamingDetectorParams{});
+    std::vector<DetectionEvent> events;
+
+    auto report = [&](const char *label) {
+        for (const auto &ev : events) {
+            std::printf("  [%s] chunk %llu: detected %s "
+                        "(predicted %s%s, blocks touched 0x%08llx)\n",
+                        label, static_cast<unsigned long long>(ev.chunk),
+                        ev.detectedStreaming ? "STREAMING" : "RANDOM",
+                        ev.predictedStreaming ? "streaming" : "random",
+                        ev.sawWrite ? ", wrote" : "",
+                        static_cast<unsigned long long>(ev.accessMask));
+        }
+        events.clear();
+    };
+
+    std::printf("sweeping every sector of chunk 0...\n");
+    Cycle now = 0;
+    for (int s = 0; s < 128; ++s) {
+        st.access(static_cast<LocalAddr>(s) * 32, false, now, events);
+        now += 2;
+    }
+    report("sweep");
+
+    std::printf("probing 3 scattered blocks of chunk 5, then "
+                "letting the 6000-cycle timeout expire...\n");
+    st.access(5 * 4096 + 0 * 128, false, now, events);
+    st.access(5 * 4096 + 9 * 128, false, now + 1, events);
+    st.access(5 * 4096 + 20 * 128, false, now + 2, events);
+    st.access(99 * 4096, false, now + 7000, events); // expiry trigger
+    report("probe");
+
+    std::printf("prediction for chunk 0: %s, chunk 5: %s\n",
+                st.predictStreaming(0) ? "streaming" : "random",
+                st.predictStreaming(5 * 4096) ? "streaming" : "random");
+    std::printf("hardware cost: %llu bits per partition "
+                "(Table IX: 2048 + 8x71)\n",
+                static_cast<unsigned long long>(st.hardwareBits()));
+    return 0;
+}

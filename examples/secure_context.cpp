@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Functional secure-memory walkthrough: really encrypt data, really
+ * mount physical attacks against the off-chip image, and watch the
+ * engine catch every one — including the paper's cross-kernel replay
+ * scenario and the InputReadOnlyReset API (Fig. 9).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "mee/functional.hh"
+
+using namespace shmgpu;
+using shmgpu::crypto::DataBlock;
+using shmgpu::mee::SecureMemoryContext;
+using shmgpu::mee::VerifyStatus;
+
+namespace
+{
+
+const char *
+statusName(VerifyStatus s)
+{
+    switch (s) {
+      case VerifyStatus::Ok: return "Ok";
+      case VerifyStatus::MacMismatch: return "MAC MISMATCH (integrity)";
+      case VerifyStatus::BmtMismatch: return "BMT MISMATCH (freshness)";
+    }
+    return "?";
+}
+
+DataBlock
+blockWithText(const std::string &text)
+{
+    DataBlock b{};
+    std::memcpy(b.data(), text.data(),
+                std::min(text.size(), b.size()));
+    return b;
+}
+
+} // namespace
+
+int
+main()
+{
+    meta::LayoutParams layout;
+    layout.dataBytes = 4 << 20; // 4 MiB protected space
+
+    SecureMemoryContext ctx(layout, /*context seed=*/2026);
+
+    std::printf("=== 1. confidentiality ===\n");
+    ctx.hostWrite(0x1000, blockWithText("model weights, layer 0"));
+    DataBlock off_chip = ctx.memory().readBlock(0x1000);
+    std::printf("plaintext  : %.22s\n", "model weights, layer 0");
+    std::printf("off-chip   : ");
+    for (int i = 0; i < 8; ++i)
+        std::printf("%02x", off_chip[i]);
+    std::printf("... (ciphertext)\n");
+    auto read = ctx.deviceRead(0x1000);
+    std::printf("device read: %.22s  [%s]\n",
+                reinterpret_cast<const char *>(read.data.data()),
+                statusName(read.status));
+
+    std::printf("\n=== 2. tampering is detected ===\n");
+    ctx.memory().corruptByte(0x1000 + 5);
+    std::printf("attacker flips one off-chip byte -> %s\n",
+                statusName(ctx.deviceRead(0x1000).status));
+    ctx.memory().corruptByte(0x1000 + 5); // undo (XOR)
+
+    // (a different 16 KB region, so the read-only demo below is
+    // unaffected by these writes)
+    std::printf("\n=== 3. replay is detected by the BMT ===\n");
+    ctx.deviceWrite(0x40000, blockWithText("balance = $100"));
+    auto stale = ctx.snapshotBlock(0x40000); // attacker snapshots
+    ctx.deviceWrite(0x40000, blockWithText("balance = $0"));
+    std::printf("current value verifies: %s\n",
+                statusName(ctx.deviceRead(0x40000).status));
+    ctx.replayBlock(stale); // ciphertext + MAC + counters, all stale
+    std::printf("replayed old value     : %s\n",
+                statusName(ctx.deviceRead(0x40000).status));
+
+    std::printf("\n=== 4. read-only data needs no freshness state ===\n");
+    std::printf("0x1000 read-only? %s (host-copied input, shared "
+                "counter, no BMT path)\n",
+                ctx.isReadOnly(0x1000) ? "yes" : "no");
+    ctx.deviceWrite(0x1000, blockWithText("kernel overwrote me"));
+    std::printf("after a kernel write -> read-only? %s "
+                "(counters propagated per Fig. 8)\n",
+                ctx.isReadOnly(0x1000) ? "yes" : "no");
+    std::printf("re-read: %s\n",
+                statusName(ctx.deviceRead(0x1000).status));
+
+    std::printf("\n=== 5. cross-kernel replay is defeated ===\n");
+    ctx.hostWrite(0x80000, blockWithText("kernel 1 input"));
+    auto old_input = ctx.snapshotBlock(0x80000);
+    ctx.deviceWrite(0x80000, blockWithText("kernel 1 output"));
+    // Host reuses the region for kernel 2: reset + fresh copy.
+    ctx.inputReadOnlyReset(0x80000, 16 * 1024, /*reencrypt=*/false);
+    ctx.hostWrite(0x80000, blockWithText("kernel 2 input"));
+    std::printf("kernel 2 sees: %.14s [%s]\n",
+                reinterpret_cast<const char *>(
+                    ctx.deviceRead(0x80000).data.data()),
+                statusName(ctx.deviceRead(0x80000).status));
+    ctx.memory().writeBlock(0x80000, old_input.ciphertext);
+    ctx.macStore().setBlockMac(0x80000, old_input.mac);
+    std::printf("attacker replays kernel 1's input -> %s\n",
+                statusName(ctx.deviceRead(0x80000).status));
+    std::printf("(the shared counter advanced, so the stale MAC "
+                "cannot verify)\n");
+
+    std::printf("\nall attacks detected.\n");
+    return 0;
+}

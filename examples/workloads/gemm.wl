@@ -1,0 +1,18 @@
+# Tiled dense GEMM: C = A x B. A is streamed row-major, B is walked
+# column-major (strided), C accumulates (read + write). A and B are
+# read-only inputs.
+workload gemm
+seed 21
+band 50 80
+
+buffer A 24M global
+buffer B 24M global
+buffer C 8M global
+
+kernel gemm_tile iters=8192 compute=6
+  copy A
+  copy B
+  read A stream
+  read B strided 64
+  read C hot 0.2 0.8 p=0.25
+  write C stream p=0.25

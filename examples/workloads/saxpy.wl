@@ -1,0 +1,18 @@
+# A saxpy-like custom workload for `shmgpu run --spec`:
+#   y = a * x + y  over 8M-element vectors, coefficients in constant
+#   memory. x is read-only input; y is read+write.
+workload saxpy
+seed 3
+band 40 60
+
+buffer x 16M global
+buffer y 16M global
+buffer coeffs 64K constant
+
+kernel saxpy_kernel iters=8192 compute=5
+  copy x
+  copy coeffs declared
+  read x stream
+  read y stream
+  read coeffs hot 0.5 0.9 p=0.1
+  write y stream

@@ -1,0 +1,15 @@
+# Scatter/gather update: stream an index list, read-modify-write
+# random table entries — the access class where SHM's detectors
+# correctly keep block-granular protection.
+workload scatter
+seed 22
+band 30 60
+
+buffer indices 8M global
+buffer table 32M global
+
+kernel scatter_update iters=6144 compute=5 window=32
+  copy indices
+  read indices stream
+  read table random
+  write table random p=0.7

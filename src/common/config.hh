@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Key-value configuration files.
+ *
+ * Simple "key = value" lines with '#' comments; consumers pull typed
+ * values and finally call assertConsumed() so misspelled keys fail
+ * loudly instead of being silently ignored (a classic simulator
+ * foot-gun).
+ */
+
+#ifndef SHMGPU_COMMON_CONFIG_HH
+#define SHMGPU_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+
+namespace shmgpu
+{
+
+/** A parsed configuration file. */
+class Config
+{
+  public:
+    /** Parse "key = value" lines; fatal with origin:line on errors. */
+    static Config fromStream(std::istream &in,
+                             const std::string &origin = "<stream>");
+    static Config fromFile(const std::string &path);
+
+    bool has(const std::string &key) const;
+
+    /** @{ Typed getters; fatal on malformed values. The key is marked
+     *  consumed. */
+    std::uint64_t getU64(const std::string &key,
+                         std::uint64_t fallback);
+    double getDouble(const std::string &key, double fallback);
+    bool getBool(const std::string &key, bool fallback);
+    std::string getString(const std::string &key,
+                          const std::string &fallback);
+    /** @} */
+
+    /** Fatal if any key was never consumed (likely a typo). */
+    void assertConsumed() const;
+
+    std::size_t size() const { return values.size(); }
+
+  private:
+    std::string origin;
+    std::map<std::string, std::string> values;
+    std::set<std::string> consumed;
+};
+
+} // namespace shmgpu
+
+#endif // SHMGPU_COMMON_CONFIG_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * The simulator must be bit-reproducible across runs and platforms, so
+ * we avoid std::mt19937/std::uniform_int_distribution (whose outputs
+ * are implementation-defined for some distributions) in favour of a
+ * small self-contained generator.
+ */
+
+#ifndef SHMGPU_COMMON_RNG_HH
+#define SHMGPU_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace shmgpu
+{
+
+/** Deterministic xoshiro256** PRNG. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // SplitMix64 seeding, as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Multiply-shift rejection-free mapping (slightly biased for
+        // huge bounds; irrelevant at simulator scales).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace shmgpu
+
+#endif // SHMGPU_COMMON_RNG_HH

@@ -1,0 +1,153 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace shmgpu::stats
+{
+
+void
+Histogram::sample(double v)
+{
+    shm_assert(!buckets.empty(), "histogram sampled before init()");
+    double span = hi - lo;
+    auto idx = static_cast<std::int64_t>((v - lo) / span *
+                                         static_cast<double>(buckets.size()));
+    if (idx < 0)
+        idx = 0;
+    if (idx >= static_cast<std::int64_t>(buckets.size()))
+        idx = static_cast<std::int64_t>(buckets.size()) - 1;
+    ++buckets[static_cast<std::size_t>(idx)];
+    ++count;
+    total += v;
+}
+
+StatGroup::StatGroup(StatGroup *parent_group, std::string group_name)
+    : groupName(std::move(group_name)), parent(parent_group)
+{
+    if (parent)
+        parent->children.push_back(this);
+}
+
+void
+StatGroup::attach(StatGroup *parent_group, std::string group_name)
+{
+    shm_assert(!parent, "StatGroup '{}' attached twice", groupName);
+    groupName = std::move(group_name);
+    parent = parent_group;
+    if (parent)
+        parent->children.push_back(this);
+}
+
+void
+StatGroup::addScalar(const std::string &stat_name, Scalar *s,
+                     const std::string &desc)
+{
+    shm_assert(!scalars.contains(stat_name), "duplicate stat {}", stat_name);
+    scalars[stat_name] = {s, desc};
+}
+
+void
+StatGroup::addHistogram(const std::string &stat_name, Histogram *h,
+                        const std::string &desc)
+{
+    shm_assert(!histograms.contains(stat_name), "duplicate stat {}",
+               stat_name);
+    histograms[stat_name] = {h, desc};
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[n, e] : scalars)
+        e.stat->reset();
+    for (auto &[n, e] : histograms)
+        e.stat->reset();
+    for (auto *child : children)
+        child->resetAll();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string path = prefix.empty() ? groupName : prefix + "." + groupName;
+    if (path.empty())
+        path = "root";
+    for (const auto &[n, e] : scalars) {
+        os << path << "." << n << " " << e.stat->value();
+        if (!e.desc.empty())
+            os << " # " << e.desc;
+        os << "\n";
+    }
+    for (const auto &[n, e] : histograms) {
+        os << path << "." << n << ".samples " << e.stat->samples() << "\n";
+        os << path << "." << n << ".mean " << e.stat->mean() << "\n";
+    }
+    for (const auto *child : children)
+        child->dump(os, path);
+}
+
+void
+StatGroup::dumpJson(std::ostream &os, int indent) const
+{
+    auto pad = [&](int extra) {
+        for (int i = 0; i < indent + extra; ++i)
+            os << ' ';
+    };
+
+    os << "{\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    for (const auto &[n, e] : scalars) {
+        sep();
+        pad(2);
+        os << '"' << n << "\": " << e.stat->value();
+    }
+    for (const auto &[n, e] : histograms) {
+        sep();
+        pad(2);
+        os << '"' << n << "\": {\"samples\": " << e.stat->samples()
+           << ", \"mean\": " << e.stat->mean() << '}';
+    }
+    for (const auto *child : children) {
+        sep();
+        pad(2);
+        os << '"' << child->name() << "\": ";
+        child->dumpJson(os, indent + 2);
+    }
+    os << '\n';
+    pad(0);
+    os << '}';
+}
+
+double
+StatGroup::lookup(const std::string &path, bool *found) const
+{
+    auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        auto it = scalars.find(path);
+        if (it != scalars.end()) {
+            if (found)
+                *found = true;
+            return it->second.stat->value();
+        }
+    } else {
+        std::string head = path.substr(0, dot);
+        std::string tail = path.substr(dot + 1);
+        for (const auto *child : children) {
+            if (child->name() == head)
+                return child->lookup(tail, found);
+        }
+    }
+    if (found)
+        *found = false;
+    return 0;
+}
+
+} // namespace shmgpu::stats

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Lightweight statistics framework.
+ *
+ * Components register named Scalar / Histogram statistics in a
+ * StatGroup. Groups can be nested; dumping a group produces a flat,
+ * stable "path.name value" listing that tests and benches consume.
+ */
+
+#ifndef SHMGPU_COMMON_STATS_HH
+#define SHMGPU_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace shmgpu::stats
+{
+
+/** A monotonically accumulating scalar statistic. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++val; return *this; }
+    Scalar &operator+=(double v) { val += v; return *this; }
+
+    void set(double v) { val = v; }
+    double value() const { return val; }
+    void reset() { val = 0; }
+
+  private:
+    double val = 0;
+};
+
+/** A fixed-bucket histogram statistic. */
+class Histogram
+{
+  public:
+    /** Configure @p nbuckets buckets over [lo, hi); out-of-range values
+     *  clamp into the first/last bucket. */
+    void
+    init(double lo_bound, double hi_bound, std::size_t nbuckets)
+    {
+        lo = lo_bound;
+        hi = hi_bound;
+        buckets.assign(nbuckets, 0);
+        count = 0;
+        total = 0;
+    }
+
+    void sample(double v);
+
+    std::uint64_t samples() const { return count; }
+    double mean() const { return count ? total / count : 0; }
+    const std::vector<std::uint64_t> &data() const { return buckets; }
+
+    void
+    reset()
+    {
+        for (auto &b : buckets)
+            b = 0;
+        count = 0;
+        total = 0;
+    }
+
+  private:
+    double lo = 0;
+    double hi = 1;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double total = 0;
+};
+
+/**
+ * A named collection of statistics. Children register themselves in a
+ * parent to form a tree; dump() walks the tree.
+ */
+class StatGroup
+{
+  public:
+    StatGroup() = default;
+    StatGroup(StatGroup *parent, std::string group_name);
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /**
+     * Late attachment for members constructed before their parent is
+     * known. Must be called at most once, and only on groups created
+     * with the default constructor.
+     */
+    void attach(StatGroup *parent, std::string group_name);
+
+    /** Register a scalar under @p stat_name. The caller keeps ownership
+     *  and must outlive this group. */
+    void addScalar(const std::string &stat_name, Scalar *s,
+                   const std::string &desc = "");
+    void addHistogram(const std::string &stat_name, Histogram *h,
+                      const std::string &desc = "");
+
+    /** Reset every statistic in this group and its children. */
+    void resetAll();
+
+    /** Write "path.name value # desc" lines to @p os. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Write the whole tree as one JSON object. */
+    void dumpJson(std::ostream &os, int indent = 0) const;
+
+    /** Fetch a scalar's value by dotted path relative to this group;
+     *  returns 0 and sets found=false when absent. */
+    double lookup(const std::string &path, bool *found = nullptr) const;
+
+    const std::string &name() const { return groupName; }
+
+  private:
+    struct ScalarEntry { Scalar *stat; std::string desc; };
+    struct HistEntry { Histogram *stat; std::string desc; };
+
+    std::string groupName;
+    StatGroup *parent = nullptr;
+    std::map<std::string, ScalarEntry> scalars;
+    std::map<std::string, HistEntry> histograms;
+    std::vector<StatGroup *> children;
+};
+
+} // namespace shmgpu::stats
+
+#endif // SHMGPU_COMMON_STATS_HH

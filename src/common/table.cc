@@ -1,0 +1,81 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace shmgpu
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : head(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    row.resize(head.size());
+    body.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        widths[c] = head[c].size();
+    for (const auto &row : body)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    emit(head);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : body)
+        emit(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    emit(head);
+    for (const auto &row : body)
+        emit(row);
+}
+
+} // namespace shmgpu

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by the benchmark harnesses to print
+ * paper-style rows/series.
+ */
+
+#ifndef SHMGPU_COMMON_TABLE_HH
+#define SHMGPU_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace shmgpu
+{
+
+/** Accumulates rows of string cells and prints them column-aligned. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a row; it is padded/truncated to the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format a double as a percentage ("12.34%"). */
+    static std::string pct(double fraction, int precision = 2);
+
+    /** Print the aligned table. */
+    void print(std::ostream &os) const;
+
+    /** Print as CSV (comma-separated, header first). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace shmgpu
+
+#endif // SHMGPU_COMMON_TABLE_HH

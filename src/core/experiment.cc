@@ -1,0 +1,91 @@
+#include "core/experiment.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "detect/oracle.hh"
+#include "gpu/simulator.hh"
+
+namespace shmgpu::core
+{
+
+Experiment::Experiment(const gpu::GpuParams &gpu_params,
+                       const gpu::EnergyParams &energy_params)
+    : gpuConfig(gpu_params), energyConfig(energy_params)
+{
+}
+
+const gpu::RunMetrics &
+Experiment::baselineFor(const workload::WorkloadSpec &spec)
+{
+    auto it = baselineCache.find(spec.name);
+    if (it != baselineCache.end())
+        return it->second;
+
+    gpu::GpuSimulator sim(gpuConfig,
+                          schemes::makeMeeParams(
+                              schemes::Scheme::Baseline),
+                          spec);
+    gpu::RunMetrics m = sim.run();
+    return baselineCache.emplace(spec.name, m).first->second;
+}
+
+ExperimentResult
+Experiment::run(schemes::Scheme scheme,
+                const workload::WorkloadSpec &spec,
+                const RunOptions &options)
+{
+    ExperimentResult result;
+    result.workload = spec.name;
+    result.scheme = schemes::schemeName(scheme);
+    result.baseline = baselineFor(spec);
+
+    mee::MeeParams mee_params = schemes::makeMeeParams(scheme);
+
+    std::optional<detect::AccessProfile> profile;
+    bool want_profile = options.collectAccuracy ||
+                        schemes::needsProfilePass(scheme);
+    if (want_profile) {
+        profile.emplace(gpuConfig.numPartitions,
+                        mee_params.roDetector.regionBytes,
+                        mee_params.streamDetector.chunkBytes);
+        gpu::GpuSimulator pass1(gpuConfig,
+                                schemes::makeMeeParams(
+                                    schemes::Scheme::Baseline),
+                                spec);
+        pass1.collectProfile(&*profile);
+        pass1.run();
+    }
+
+    gpu::GpuSimulator sim(gpuConfig, mee_params, spec);
+    if (schemes::needsProfilePass(scheme))
+        sim.primeFromProfile(*profile);
+    if (profile)
+        sim.attributeAgainst(&*profile);
+    result.metrics = sim.run();
+
+    result.normalizedIpc =
+        result.baseline.ipc > 0 ? result.metrics.ipc / result.baseline.ipc
+                                : 0;
+    double base_epi =
+        gpu::energyPerInstruction(energyConfig, result.baseline.energy);
+    double epi =
+        gpu::energyPerInstruction(energyConfig, result.metrics.energy);
+    result.normalizedEnergyPerInstr = base_epi > 0 ? epi / base_epi : 0;
+    return result;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0;
+    double log_sum = 0;
+    for (double v : values) {
+        shm_assert(v > 0, "geomean requires positive values (got {})", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace shmgpu::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The library's top-level facade: run (scheme x workload) experiments
+ * and get back paper-style metrics.
+ *
+ * Typical use:
+ * @code
+ *   shmgpu::core::Experiment exp;
+ *   auto r = exp.run(shmgpu::schemes::Scheme::Shm,
+ *                    shmgpu::workload::findWorkload("lbm"));
+ *   std::cout << r.normalizedIpc << "\n";
+ * @endcode
+ */
+
+#ifndef SHMGPU_CORE_EXPERIMENT_HH
+#define SHMGPU_CORE_EXPERIMENT_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "gpu/energy.hh"
+#include "gpu/metrics.hh"
+#include "gpu/params.hh"
+#include "schemes/schemes.hh"
+#include "workload/benchmarks.hh"
+
+namespace shmgpu::core
+{
+
+/** Options for one experiment run. */
+struct RunOptions
+{
+    /**
+     * Run a profiling pass first and attribute every prediction
+     * against its ground truth (enables the Fig. 10/11 tallies).
+     * Implied for SHM_upper_bound.
+     */
+    bool collectAccuracy = false;
+};
+
+/** One (scheme, workload) result, normalized to the baseline. */
+struct ExperimentResult
+{
+    std::string workload;
+    std::string scheme;
+    gpu::RunMetrics metrics;
+    gpu::RunMetrics baseline;
+
+    /** IPC / baseline IPC (Fig. 12/13/16). <= ~1.0. */
+    double normalizedIpc = 0;
+    /** Performance overhead = 1 - normalizedIpc. */
+    double overhead() const { return 1.0 - normalizedIpc; }
+    /** Energy-per-instruction / baseline (Fig. 15). */
+    double normalizedEnergyPerInstr = 0;
+};
+
+/** Runs experiments, caching the per-workload baseline. */
+class Experiment
+{
+  public:
+    explicit Experiment(const gpu::GpuParams &gpu_params = {},
+                        const gpu::EnergyParams &energy_params = {});
+
+    /** Simulate @p scheme on @p spec (baseline simulated on demand). */
+    ExperimentResult run(schemes::Scheme scheme,
+                         const workload::WorkloadSpec &spec,
+                         const RunOptions &options = {});
+
+    /**
+     * The no-security metrics for @p spec, cached **by workload
+     * name**: reuse one Experiment across distinct specs that share a
+     * name (e.g. regenerated parameter sweeps) would alias — create a
+     * fresh Experiment per spec in that case.
+     */
+    const gpu::RunMetrics &baselineFor(const workload::WorkloadSpec &spec);
+
+    const gpu::GpuParams &gpuParams() const { return gpuConfig; }
+    const gpu::EnergyParams &energyParams() const { return energyConfig; }
+
+  private:
+    gpu::GpuParams gpuConfig;
+    gpu::EnergyParams energyConfig;
+    std::map<std::string, gpu::RunMetrics> baselineCache;
+};
+
+/** Geometric mean helper for per-workload normalized series. */
+double geomean(const std::vector<double> &values);
+
+} // namespace shmgpu::core
+
+#endif // SHMGPU_CORE_EXPERIMENT_HH

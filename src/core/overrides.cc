@@ -1,0 +1,84 @@
+#include "core/overrides.hh"
+
+namespace shmgpu::core
+{
+
+void
+applyGpuOverrides(Config &config, gpu::GpuParams &p)
+{
+    p.numSms = static_cast<std::uint32_t>(
+        config.getU64("gpu.num_sms", p.numSms));
+    p.numPartitions = static_cast<std::uint32_t>(
+        config.getU64("gpu.num_partitions", p.numPartitions));
+    p.smWindow = static_cast<std::uint32_t>(
+        config.getU64("gpu.sm_window", p.smWindow));
+    p.maxCyclesPerKernel =
+        config.getU64("gpu.max_cycles", p.maxCyclesPerKernel);
+    p.l2BankBytes = config.getU64("gpu.l2_bank_bytes", p.l2BankBytes);
+    p.l2Assoc = static_cast<std::uint32_t>(
+        config.getU64("gpu.l2_assoc", p.l2Assoc));
+    p.l2HitLatency = config.getU64("gpu.l2_hit_latency", p.l2HitLatency);
+    p.icntLatency = config.getU64("gpu.icnt_latency", p.icntLatency);
+    p.victimMissRateThreshold = config.getDouble(
+        "gpu.victim_threshold", p.victimMissRateThreshold);
+
+    p.dram.bytesPerCycle =
+        config.getDouble("dram.bytes_per_cycle", p.dram.bytesPerCycle);
+    p.dram.numBanks = static_cast<unsigned>(
+        config.getU64("dram.banks", p.dram.numBanks));
+    p.dram.rowHitLatency =
+        config.getU64("dram.row_hit_latency", p.dram.rowHitLatency);
+    p.dram.rowMissLatency =
+        config.getU64("dram.row_miss_latency", p.dram.rowMissLatency);
+    p.dram.writeQueueCycles =
+        config.getU64("dram.write_queue_cycles",
+                      p.dram.writeQueueCycles);
+    p.dram.schedulerRowWindow = static_cast<unsigned>(
+        config.getU64("dram.row_window", p.dram.schedulerRowWindow));
+}
+
+void
+applyMeeOverrides(Config &config, mee::MeeParams &p)
+{
+    p.aesLatency = config.getU64("mee.aes_latency", p.aesLatency);
+    p.hashLatency = config.getU64("mee.hash_latency", p.hashLatency);
+    p.bmtArity = static_cast<std::uint32_t>(
+        config.getU64("mee.bmt_arity", p.bmtArity));
+    p.macBytes = static_cast<std::uint32_t>(
+        config.getU64("mee.mac_bytes", p.macBytes));
+    p.staticSpaceHints =
+        config.getBool("mee.static_space_hints", p.staticSpaceHints);
+    p.programmingModelHints = config.getBool(
+        "mee.programming_model_hints", p.programmingModelHints);
+
+    std::uint64_t mdc = config.getU64("mee.mdc_bytes",
+                                      p.counterCache.sizeBytes);
+    p.counterCache.sizeBytes = mdc;
+    p.macCache.sizeBytes = mdc;
+    p.bmtCache.sizeBytes = mdc;
+
+    p.streamDetector.trackers = static_cast<std::uint32_t>(
+        config.getU64("mee.mats", p.streamDetector.trackers));
+    p.streamDetector.chunkBytes =
+        config.getU64("mee.chunk_bytes", p.streamDetector.chunkBytes);
+    p.streamDetector.entries = static_cast<std::uint32_t>(
+        config.getU64("mee.stream_entries", p.streamDetector.entries));
+    p.streamDetector.timeoutCycles = config.getU64(
+        "mee.mat_timeout", p.streamDetector.timeoutCycles);
+    p.roDetector.entries = static_cast<std::uint32_t>(
+        config.getU64("mee.ro_entries", p.roDetector.entries));
+    p.roDetector.regionBytes =
+        config.getU64("mee.ro_region_bytes", p.roDetector.regionBytes);
+}
+
+void
+applyOverridesFile(const std::string &path, gpu::GpuParams &gpu,
+                   mee::MeeParams &mee)
+{
+    Config config = Config::fromFile(path);
+    applyGpuOverrides(config, gpu);
+    applyMeeOverrides(config, mee);
+    config.assertConsumed();
+}
+
+} // namespace shmgpu::core

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Configuration-file overrides for the GPU and MEE parameters, so the
+ * CLI (and downstream embedders) can explore the design space without
+ * recompiling:
+ *
+ *   # turing.cfg
+ *   gpu.num_sms            = 30
+ *   gpu.sm_window          = 64
+ *   gpu.max_cycles         = 100000
+ *   dram.bytes_per_cycle   = 16
+ *   mee.chunk_bytes        = 4096
+ *   mee.mats               = 16
+ *   mee.mdc_bytes          = 2048
+ *   mee.mac_bytes          = 8
+ *   mee.bmt_arity          = 16
+ *   mee.static_space_hints = true
+ *
+ * Unknown keys are fatal (Config::assertConsumed).
+ */
+
+#ifndef SHMGPU_CORE_OVERRIDES_HH
+#define SHMGPU_CORE_OVERRIDES_HH
+
+#include "common/config.hh"
+#include "gpu/params.hh"
+#include "mee/engine.hh"
+
+namespace shmgpu::core
+{
+
+/** Apply "gpu.*" and "dram.*" keys to @p params. */
+void applyGpuOverrides(Config &config, gpu::GpuParams &params);
+
+/** Apply "mee.*" keys to @p params. */
+void applyMeeOverrides(Config &config, mee::MeeParams &params);
+
+/**
+ * Apply everything from a file to both parameter sets and fail on
+ * unknown keys.
+ */
+void applyOverridesFile(const std::string &path, gpu::GpuParams &gpu,
+                        mee::MeeParams &mee);
+
+} // namespace shmgpu::core
+
+#endif // SHMGPU_CORE_OVERRIDES_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * FIPS-197 AES-128 block cipher (encryption direction only).
+ *
+ * Counter-mode secure memory only ever encrypts the seed to produce a
+ * one-time pad (OTP); decryption of data is an XOR with the same pad,
+ * so the inverse cipher is not needed. The implementation is a
+ * straightforward byte-oriented one: the simulator charges a fixed
+ * pipelined-engine latency for timing, so software speed is secondary
+ * to clarity, but it is still fast enough for functional-mode tests.
+ */
+
+#ifndef SHMGPU_CRYPTO_AES128_HH
+#define SHMGPU_CRYPTO_AES128_HH
+
+#include <array>
+#include <cstdint>
+
+namespace shmgpu::crypto
+{
+
+/** An AES-128 key / block: 16 bytes. */
+using Block16 = std::array<std::uint8_t, 16>;
+
+/** AES-128 with a fixed key (expanded once at construction). */
+class Aes128
+{
+  public:
+    explicit Aes128(const Block16 &key);
+
+    /** Encrypt one 16-byte block. */
+    Block16 encrypt(const Block16 &plaintext) const;
+
+  private:
+    static constexpr unsigned rounds = 10;
+    /** Round keys: 11 x 16 bytes. */
+    std::array<std::uint8_t, 16 * (rounds + 1)> roundKeys;
+};
+
+} // namespace shmgpu::crypto
+
+#endif // SHMGPU_CRYPTO_AES128_HH

@@ -1,0 +1,53 @@
+#include "crypto/ctr_mode.hh"
+
+namespace shmgpu::crypto
+{
+
+CtrModeEngine::CtrModeEngine(const Block16 &key) : aes(key)
+{
+}
+
+DataBlock
+CtrModeEngine::generatePad(const Seed &seed) const
+{
+    DataBlock pad;
+    for (std::size_t chunk = 0; chunk < chunksPerBlock; ++chunk) {
+        // Pack the seed fields into one 16 B AES input block. The
+        // paper's layout (Fig. 3): address | major | minor | CID. We
+        // fold the partition id into the top byte of the CID word so
+        // that identical local addresses in different partitions still
+        // produce distinct pads.
+        Block16 in;
+        std::uint64_t lo = seed.address;
+        std::uint64_t hi = (seed.major << 8) ^ (seed.minor << 40) ^
+                           (static_cast<std::uint64_t>(seed.partition)
+                            << 52) ^
+                           static_cast<std::uint64_t>(chunk);
+        for (int i = 0; i < 8; ++i) {
+            in[i] = static_cast<std::uint8_t>(lo >> (8 * i));
+            in[8 + i] = static_cast<std::uint8_t>(hi >> (8 * i));
+        }
+        Block16 out = aes.encrypt(in);
+        for (std::size_t i = 0; i < aesChunkBytes; ++i)
+            pad[chunk * aesChunkBytes + i] = out[i];
+    }
+    return pad;
+}
+
+void
+CtrModeEngine::transform(DataBlock &data, const Seed &seed) const
+{
+    DataBlock pad = generatePad(seed);
+    for (std::size_t i = 0; i < blockBytes; ++i)
+        data[i] ^= pad[i];
+}
+
+DataBlock
+CtrModeEngine::transformed(const DataBlock &data, const Seed &seed) const
+{
+    DataBlock out = data;
+    transform(out, seed);
+    return out;
+}
+
+} // namespace shmgpu::crypto

@@ -1,0 +1,24 @@
+#include "crypto/keygen.hh"
+
+#include "common/rng.hh"
+
+namespace shmgpu::crypto
+{
+
+KeyTuple
+generateKeys(std::uint64_t context_seed)
+{
+    Rng rng(context_seed ^ 0xC0DEC0DECAFEF00Dull);
+    KeyTuple keys;
+    for (std::size_t i = 0; i < keys.encryptionKey.size(); i += 8) {
+        std::uint64_t word = rng.next();
+        for (std::size_t b = 0; b < 8; ++b)
+            keys.encryptionKey[i + b] =
+                static_cast<std::uint8_t>(word >> (8 * b));
+    }
+    keys.macKey = {rng.next(), rng.next()};
+    keys.treeKey = {rng.next(), rng.next()};
+    return keys;
+}
+
+} // namespace shmgpu::crypto

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * GPU-context key generation.
+ *
+ * On GPU context initialization, the command processor's key generator
+ * produces the key tuple (K1, K2, K3) for memory encryption, memory
+ * integrity (MACs) and the integrity tree respectively (Section IV-A).
+ */
+
+#ifndef SHMGPU_CRYPTO_KEYGEN_HH
+#define SHMGPU_CRYPTO_KEYGEN_HH
+
+#include <cstdint>
+
+#include "crypto/aes128.hh"
+#include "crypto/siphash.hh"
+
+namespace shmgpu::crypto
+{
+
+/** The per-context key tuple. */
+struct KeyTuple
+{
+    Block16 encryptionKey;  //!< K1: counter-mode encryption
+    SipKey macKey;          //!< K2: data MACs
+    SipKey treeKey;         //!< K3: integrity-tree node hashes
+};
+
+/**
+ * Derive a key tuple from a context seed. Real hardware would use a
+ * TRNG; the simulator derives deterministically so that runs are
+ * reproducible, while keys still differ per context.
+ */
+KeyTuple generateKeys(std::uint64_t context_seed);
+
+} // namespace shmgpu::crypto
+
+#endif // SHMGPU_CRYPTO_KEYGEN_HH

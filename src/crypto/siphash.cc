@@ -1,0 +1,109 @@
+#include "crypto/siphash.hh"
+
+#include "common/logging.hh"
+
+namespace shmgpu::crypto
+{
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int b)
+{
+    return (x << b) | (x >> (64 - b));
+}
+
+inline std::uint64_t
+readLe64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+} // namespace
+
+SipHasher::SipHasher(const SipKey &key)
+    : v0(0x736f6d6570736575ull ^ key.k0),
+      v1(0x646f72616e646f6dull ^ key.k1),
+      v2(0x6c7967656e657261ull ^ key.k0),
+      v3(0x7465646279746573ull ^ key.k1)
+{
+}
+
+void
+SipHasher::round()
+{
+    v0 += v1; v1 = rotl(v1, 13); v1 ^= v0; v0 = rotl(v0, 32);
+    v2 += v3; v3 = rotl(v3, 16); v3 ^= v2;
+    v0 += v3; v3 = rotl(v3, 21); v3 ^= v0;
+    v2 += v1; v1 = rotl(v1, 17); v1 ^= v2; v2 = rotl(v2, 32);
+}
+
+void
+SipHasher::compress(std::uint64_t m)
+{
+    v3 ^= m;
+    round();
+    round();
+    v0 ^= m;
+}
+
+SipHasher &
+SipHasher::update(const void *data, std::size_t len)
+{
+    shm_assert(!finalized, "SipHasher reused after digest()");
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    totalLen += len;
+    while (len > 0) {
+        buf[bufLen++] = *p++;
+        --len;
+        if (bufLen == 8) {
+            compress(readLe64(buf));
+            bufLen = 0;
+        }
+    }
+    return *this;
+}
+
+SipHasher &
+SipHasher::updateU64(std::uint64_t v)
+{
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    return update(b, 8);
+}
+
+std::uint64_t
+SipHasher::digest()
+{
+    shm_assert(!finalized, "SipHasher reused after digest()");
+    finalized = true;
+
+    // Final block: pad with zeros, last byte = total length mod 256.
+    std::uint8_t last[8] = {};
+    for (std::size_t i = 0; i < bufLen; ++i)
+        last[i] = buf[i];
+    last[7] = static_cast<std::uint8_t>(totalLen & 0xff);
+    compress(readLe64(last));
+
+    v2 ^= 0xff;
+    round();
+    round();
+    round();
+    round();
+    return v0 ^ v1 ^ v2 ^ v3;
+}
+
+std::uint64_t
+siphash24(const SipKey &key, const void *data, std::size_t len)
+{
+    SipHasher h(key);
+    h.update(data, len);
+    return h.digest();
+}
+
+} // namespace shmgpu::crypto

@@ -1,0 +1,79 @@
+#include "detect/readonly.hh"
+
+#include "common/logging.hh"
+
+namespace shmgpu::detect
+{
+
+ReadOnlyDetector::ReadOnlyDetector(const ReadOnlyDetectorParams &params)
+    : config(params)
+{
+    shm_assert(config.entries > 0, "predictor needs at least one entry");
+    shm_assert(config.regionBytes > 0, "region size must be nonzero");
+    entries.resize(config.entries);
+}
+
+bool
+ReadOnlyDetector::isReadOnly(LocalAddr addr) const
+{
+    return entries[indexOf(regionOf(addr))].readOnly;
+}
+
+void
+ReadOnlyDetector::markInputRegion(LocalAddr base, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    std::uint64_t first = base / config.regionBytes;
+    std::uint64_t last = (base + bytes - 1) / config.regionBytes;
+    for (std::uint64_t region = first; region <= last; ++region) {
+        Entry &e = entries[indexOf(region)];
+        e.readOnly = true;
+        e.everSet = true;
+        e.cleared = false;
+    }
+}
+
+bool
+ReadOnlyDetector::recordWrite(LocalAddr addr)
+{
+    std::uint64_t region = regionOf(addr);
+    Entry &e = entries[indexOf(region)];
+    bool transition = e.readOnly;
+    e.readOnly = false;
+    e.cleared = true;
+    e.clearedByRegion = region;
+    return transition;
+}
+
+void
+ReadOnlyDetector::resetReadOnly(LocalAddr base, std::uint64_t bytes)
+{
+    // Identical bit-vector effect to a fresh input copy.
+    markInputRegion(base, bytes);
+}
+
+void
+ReadOnlyDetector::pinReadOnly(LocalAddr base, std::uint64_t bytes)
+{
+    // A tagless bit vector cannot safely exempt declared regions from
+    // aliasing writes (the aliased region would keep reading as
+    // read-only while being written), so a declaration is simply an
+    // authoritative marking: it covers buffers the memcpy-based
+    // initialization path never sees.
+    markInputRegion(base, bytes);
+}
+
+NotReadOnlyCause
+ReadOnlyDetector::causeFor(LocalAddr addr) const
+{
+    std::uint64_t region = regionOf(addr);
+    const Entry &e = entries[indexOf(region)];
+    if (!e.cleared && !e.everSet)
+        return NotReadOnlyCause::NeverSet;
+    if (e.cleared && e.clearedByRegion != region)
+        return NotReadOnlyCause::WrittenAlias;
+    return NotReadOnlyCause::WrittenSelf;
+}
+
+} // namespace shmgpu::detect

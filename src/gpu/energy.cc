@@ -1,0 +1,31 @@
+#include "gpu/energy.hh"
+
+namespace shmgpu::gpu
+{
+
+double
+totalEnergy(const EnergyParams &params, const EnergyActivity &activity)
+{
+    double e = 0;
+    e += params.staticPerCycle * static_cast<double>(activity.cycles);
+    e += params.perInstruction *
+         static_cast<double>(activity.instructions);
+    e += params.perL2Access * static_cast<double>(activity.l2Accesses);
+    e += params.perDramByte * static_cast<double>(activity.dramBytes);
+    e += params.perMdcAccess * static_cast<double>(activity.mdcAccesses);
+    e += params.perAesBlock * static_cast<double>(activity.aesBlocks);
+    e += params.perHash * static_cast<double>(activity.hashes);
+    return e;
+}
+
+double
+energyPerInstruction(const EnergyParams &params,
+                     const EnergyActivity &activity)
+{
+    if (activity.instructions == 0)
+        return 0;
+    return totalEnergy(params, activity) /
+           static_cast<double>(activity.instructions);
+}
+
+} // namespace shmgpu::gpu

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Analytical energy model (GPUWattch/CACTI substitute, see DESIGN.md).
+ *
+ * Energy = leakage x cycles + per-event dynamic energies. The unit is
+ * arbitrary ("energy units"); only ratios matter for Fig. 15, which
+ * normalizes energy-per-instruction to the no-security baseline.
+ */
+
+#ifndef SHMGPU_GPU_ENERGY_HH
+#define SHMGPU_GPU_ENERGY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace shmgpu::gpu
+{
+
+/** Per-event energy coefficients. */
+struct EnergyParams
+{
+    double staticPerCycle = 60.0;  //!< whole-chip leakage + clocking
+    double perInstruction = 0.5;   //!< core dynamic energy
+    double perL2Access = 0.6;
+    double perDramByte = 0.35;
+    double perMdcAccess = 0.2;     //!< metadata-cache access (CACTI)
+    double perAesBlock = 1.0;      //!< one OTP generation
+    double perHash = 1.0;          //!< one MAC/BMT hash
+};
+
+/** Raw event counts accumulated during a run. */
+struct EnergyActivity
+{
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t dramBytes = 0;
+    std::uint64_t mdcAccesses = 0;
+    std::uint64_t aesBlocks = 0;
+    std::uint64_t hashes = 0;
+};
+
+/** Total energy of a run under @p params. */
+double totalEnergy(const EnergyParams &params,
+                   const EnergyActivity &activity);
+
+/** Energy per instruction (guards the zero-instruction corner). */
+double energyPerInstruction(const EnergyParams &params,
+                            const EnergyActivity &activity);
+
+} // namespace shmgpu::gpu
+
+#endif // SHMGPU_GPU_ENERGY_HH

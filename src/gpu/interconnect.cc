@@ -1,0 +1,60 @@
+#include "gpu/interconnect.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace shmgpu::gpu
+{
+
+Interconnect::Interconnect(const InterconnectParams &params,
+                           unsigned num_partitions)
+    : config(params), toPartition(num_partitions), toSm(num_partitions)
+{
+    shm_assert(num_partitions > 0, "need at least one partition");
+    shm_assert(config.bytesPerCycle > 0, "link bandwidth must be > 0");
+}
+
+Cycle
+Interconnect::traverse(Link &link, std::uint32_t bytes, Cycle now)
+{
+    auto serialize = static_cast<Cycle>(std::ceil(
+        static_cast<double>(bytes) / config.bytesPerCycle));
+    serialize = std::max<Cycle>(serialize, 1);
+
+    Cycle start = std::max(now, link.busyUntil);
+    link.busyUntil = start + serialize;
+    return start + serialize + config.latency;
+}
+
+Cycle
+Interconnect::request(PartitionId partition, std::uint32_t bytes,
+                      Cycle now)
+{
+    ++statRequests;
+    statRequestBytes += bytes;
+    return traverse(toPartition.at(partition), bytes, now);
+}
+
+Cycle
+Interconnect::reply(PartitionId partition, std::uint32_t bytes, Cycle now)
+{
+    ++statReplies;
+    statReplyBytes += bytes;
+    return traverse(toSm.at(partition), bytes, now);
+}
+
+void
+Interconnect::regStats(stats::StatGroup *parent)
+{
+    statGroup.attach(parent, "icnt");
+    statGroup.addScalar("requests", &statRequests,
+                        "SM->partition messages");
+    statGroup.addScalar("replies", &statReplies,
+                        "partition->SM messages");
+    statGroup.addScalar("request_bytes", &statRequestBytes, "");
+    statGroup.addScalar("reply_bytes", &statReplyBytes, "");
+}
+
+} // namespace shmgpu::gpu

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SM <-> memory-partition interconnect.
+ *
+ * A crossbar with per-partition, per-direction links: each link has a
+ * fixed traversal latency plus a serialization limit (bytes per
+ * cycle), so reply bandwidth can throttle data returns when a
+ * partition is hot — an effect a bare fixed-latency model misses.
+ * Queueing uses the same analytic busy-until technique as the GDDR
+ * channel.
+ */
+
+#ifndef SHMGPU_GPU_INTERCONNECT_HH
+#define SHMGPU_GPU_INTERCONNECT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace shmgpu::gpu
+{
+
+/** Static interconnect configuration. */
+struct InterconnectParams
+{
+    Cycle latency = 20;          //!< traversal latency per direction
+    /** Link serialization bandwidth per partition per direction.
+     *  32 B/cycle comfortably exceeds one channel's 16 B/cycle of
+     *  DRAM data, so the crossbar only binds under reply bursts. */
+    double bytesPerCycle = 32.0;
+    std::uint32_t requestBytes = 16; //!< header cost of a request
+};
+
+/** Crossbar between the SMs and the memory partitions. */
+class Interconnect
+{
+  public:
+    Interconnect(const InterconnectParams &params,
+                 unsigned num_partitions);
+
+    /**
+     * Send a request toward @p partition at @p now; returns its
+     * arrival cycle at the partition.
+     */
+    Cycle request(PartitionId partition, std::uint32_t bytes, Cycle now);
+
+    /**
+     * Send a reply of @p bytes from @p partition at @p now; returns
+     * its arrival cycle at the SM.
+     */
+    Cycle reply(PartitionId partition, std::uint32_t bytes, Cycle now);
+
+    void regStats(stats::StatGroup *parent);
+
+    const InterconnectParams &params() const { return config; }
+
+  private:
+    struct Link
+    {
+        Cycle busyUntil = 0;
+    };
+
+    Cycle traverse(Link &link, std::uint32_t bytes, Cycle now);
+
+    InterconnectParams config;
+    std::vector<Link> toPartition;
+    std::vector<Link> toSm;
+
+    stats::StatGroup statGroup;
+    stats::Scalar statRequests;
+    stats::Scalar statReplies;
+    stats::Scalar statRequestBytes;
+    stats::Scalar statReplyBytes;
+};
+
+} // namespace shmgpu::gpu
+
+#endif // SHMGPU_GPU_INTERCONNECT_HH

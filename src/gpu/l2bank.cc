@@ -1,0 +1,148 @@
+#include "gpu/l2bank.hh"
+
+#include "common/logging.hh"
+
+namespace shmgpu::gpu
+{
+
+namespace
+{
+
+mem::CacheParams
+l2CacheParams(const GpuParams &params, PartitionId partition,
+              std::uint32_t bank_index)
+{
+    mem::CacheParams cp;
+    cp.name = "l2_p" + std::to_string(partition) + "_b" +
+              std::to_string(bank_index);
+    cp.sizeBytes = params.l2BankBytes;
+    cp.blockBytes = 128;
+    cp.sectorBytes = 32;
+    cp.assoc = params.l2Assoc;
+    cp.mshrs = params.l2Mshrs;
+    cp.mshrMergeMax = params.l2MshrMerge;
+    cp.writeAllocate = true;
+    cp.fetchOnWriteMiss = false; // GPU write-validate
+    return cp;
+}
+
+} // namespace
+
+L2Bank::L2Bank(const GpuParams &params, PartitionId partition,
+               std::uint32_t bank_index)
+    : config(params), storage(l2CacheParams(params, partition, bank_index))
+{
+}
+
+L2AccessResult
+L2Bank::accessData(LocalAddr local, bool is_write)
+{
+    ++statAccesses;
+    L2AccessResult out;
+
+    // Set-sampling monitor: a 1-in-N subset of sets stands in for the
+    // whole bank's data miss rate (Qureshi & Patt-style sampling).
+    // Blocks interleave across the partition's banks, so the sampled
+    // subset is chosen on the per-bank line index or one bank would
+    // never see a sample.
+    std::uint64_t bank_line = local / storage.params().blockBytes /
+                              config.l2BanksPerPartition;
+    bool sampled = (bank_line % config.victimSampleRatio) == 0;
+
+    mem::CacheAccessResult res = storage.access(local, 32, is_write);
+    switch (res.outcome) {
+      case mem::CacheOutcome::Hit:
+        ++statHits;
+        out.hit = true;
+        if (sampled) {
+            ++sampleAccesses;
+            ++sampleAccCum;
+        }
+        return out;
+      case mem::CacheOutcome::WriteNoFetch:
+        out.writeNoFetch = true;
+        out.writeback = storage.takeInsertWriteback();
+        if (out.writeback.valid)
+            ++statWritebacks;
+        if (sampled) {
+            ++sampleAccesses;
+            ++sampleMisses;
+            ++sampleAccCum;
+            ++sampleMissCum;
+        }
+        return out;
+      default:
+        break;
+    }
+
+    ++statMisses;
+    if (sampled) {
+        ++sampleAccesses;
+        ++sampleMisses;
+        ++sampleAccCum;
+        ++sampleMissCum;
+    }
+    out.fetchMask = res.fetchMask ? res.fetchMask : 1u;
+    out.writeback = storage.fill(local, out.fetchMask);
+    if (out.writeback.valid)
+        ++statWritebacks;
+    return out;
+}
+
+bool
+L2Bank::probeVictim(Addr meta_addr)
+{
+    ++statVictimProbes;
+    bool hit = storage.probe(meta_addr) != 0;
+    if (hit)
+        ++statVictimProbeHits;
+    return hit;
+}
+
+mem::Writeback
+L2Bank::insertVictim(Addr meta_addr, std::uint32_t valid_mask,
+                     std::uint32_t dirty_mask)
+{
+    ++statVictimInsertions;
+    return storage.insert(meta_addr, valid_mask, dirty_mask);
+}
+
+double
+L2Bank::sampledMissRate() const
+{
+    if (sampleAccesses == 0)
+        return 0.0;
+    return static_cast<double>(sampleMisses) /
+           static_cast<double>(sampleAccesses);
+}
+
+bool
+L2Bank::sampleWarm() const
+{
+    return sampleAccesses >= config.victimSampleWarmup;
+}
+
+void
+L2Bank::resetSampling()
+{
+    sampleAccesses = 0;
+    sampleMisses = 0;
+}
+
+void
+L2Bank::regStats(stats::StatGroup *parent)
+{
+    statGroup.attach(parent, storage.params().name);
+    statGroup.addScalar("accesses", &statAccesses, "data accesses");
+    statGroup.addScalar("hits", &statHits, "data hits");
+    statGroup.addScalar("misses", &statMisses, "data misses");
+    statGroup.addScalar("writebacks", &statWritebacks, "dirty evictions");
+    statGroup.addScalar("victim_insertions", &statVictimInsertions,
+                        "metadata lines inserted");
+    statGroup.addScalar("victim_probes", &statVictimProbes,
+                        "metadata probes");
+    statGroup.addScalar("victim_probe_hits", &statVictimProbeHits,
+                        "metadata probe hits");
+}
+
+} // namespace shmgpu::gpu

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Aggregated results of one simulation run.
+ */
+
+#ifndef SHMGPU_GPU_METRICS_HH
+#define SHMGPU_GPU_METRICS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "gpu/energy.hh"
+
+namespace shmgpu::gpu
+{
+
+/** Everything the harnesses need from a finished run. */
+struct RunMetrics
+{
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    double ipc = 0;
+
+    /** @{ DRAM bytes by traffic class (Fig. 14). */
+    std::uint64_t bytesData = 0;
+    std::uint64_t bytesCounter = 0;
+    std::uint64_t bytesMac = 0;
+    std::uint64_t bytesBmt = 0;
+    std::uint64_t bytesExtra = 0;
+    /** @} */
+
+    std::uint64_t metadataBytes() const
+    {
+        return bytesCounter + bytesMac + bytesBmt + bytesExtra;
+    }
+
+    /** Metadata bandwidth overhead relative to data bandwidth. */
+    double metadataOverhead() const
+    {
+        return bytesData ? static_cast<double>(metadataBytes()) /
+                               static_cast<double>(bytesData)
+                         : 0.0;
+    }
+
+    /** Achieved DRAM bandwidth / peak. */
+    double bandwidthUtilization = 0;
+
+    double l2MissRate = 0;
+
+    /** @{ Fig. 10 tallies. */
+    double roCorrect = 0;
+    double roMpInit = 0;
+    double roMpAliasing = 0;
+    /** @} */
+
+    /** @{ Fig. 11 tallies. */
+    double strCorrect = 0;
+    double strMpInit = 0;
+    double strMpAliasing = 0;
+    double strMpRuntimeRo = 0;
+    double strMpRuntimeNonRo = 0;
+    /** @} */
+
+    /** @{ MEE activity. */
+    double sharedCtrReads = 0;
+    double commonCtrHits = 0;
+    double roTransitions = 0;
+    double chunkMacAccesses = 0;
+    double blockMacAccesses = 0;
+    double dualMacFallbacks = 0;
+    double victimHits = 0;
+    double victimInserts = 0;
+    /** @} */
+
+    EnergyActivity energy;
+};
+
+} // namespace shmgpu::gpu
+
+#endif // SHMGPU_GPU_METRICS_HH

@@ -1,0 +1,171 @@
+#include "gpu/partition.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace shmgpu::gpu
+{
+
+namespace
+{
+
+mem::DramParams
+channelParams(const GpuParams &params, PartitionId id)
+{
+    mem::DramParams dp = params.dram;
+    dp.name = "dram_p" + std::to_string(id);
+    return dp;
+}
+
+} // namespace
+
+Partition::Partition(const GpuParams &gpu_params,
+                     const mee::MeeParams &mee_params, PartitionId id,
+                     const meta::MetadataLayout *layout,
+                     mee::DramRouter *router, const mem::AddressMap *map,
+                     meta::CommonCounterTable *common_table)
+    : gpuConfig(gpu_params), meeConfig(mee_params), partitionId(id),
+      addrMap(map), dram(channelParams(gpu_params, id)),
+      engine(mee_params, id, layout, router,
+             mee_params.victimL2 ? this : nullptr, map, common_table)
+{
+    for (std::uint32_t b = 0; b < gpu_params.l2BanksPerPartition; ++b)
+        banks.push_back(std::make_unique<L2Bank>(gpu_params, id, b));
+    statReadLatencyHist.init(0, 4096, 32);
+}
+
+void
+Partition::handleWriteback(const mem::Writeback &wb, Cycle now)
+{
+    if (!wb.valid)
+        return;
+    std::uint32_t bytes =
+        static_cast<std::uint32_t>(std::popcount(wb.dirtyMask)) * 32u;
+
+    if (wb.blockAddr >= gpuConfig.protectedBytesPerPartition) {
+        // A metadata line the MEE parked in the L2 victim space.
+        // Its original traffic class is no longer known; attribute it
+        // to the MAC stream, which dominates victim insertions.
+        dram.enqueue(now, wb.blockAddr, bytes, mem::AccessType::Write,
+                     mem::TrafficClass::Mac);
+        return;
+    }
+
+    dram.enqueue(now, wb.blockAddr, bytes, mem::AccessType::Write,
+                 mem::TrafficClass::Data);
+    if (collector)
+        collector->recordAccess(partitionId, wb.blockAddr, true, now);
+    engine.onWrite(wb.blockAddr,
+                   addrMap->toPhysical(partitionId, wb.blockAddr), now);
+}
+
+Cycle
+Partition::read(LocalAddr local, Addr phys, Cycle now, MemSpace space)
+{
+    L2Bank &b = *banks[bankOf(local)];
+    L2AccessResult res = b.accessData(local, false);
+
+    Cycle ready;
+    if (res.hit) {
+        ready = now + gpuConfig.l2HitLatency;
+    } else {
+        std::uint32_t bytes =
+            static_cast<std::uint32_t>(std::popcount(res.fetchMask)) * 32u;
+        Cycle start = now + gpuConfig.l2HitLatency;
+        Cycle data_done = dram.enqueue(start, local, bytes,
+                                       mem::AccessType::Read,
+                                       mem::TrafficClass::Data)
+                              .complete;
+        if (collector)
+            collector->recordAccess(partitionId, local, false, now);
+        Cycle ctr_ready = engine.onRead(local, phys, start, space);
+        ready = std::max(data_done, ctr_ready);
+        if (meeConfig.secure)
+            ready += meeConfig.aesLatency; // decrypt on the return path
+        statReadMissLatency += static_cast<double>(ready - now);
+        ++statReadMisses;
+        statReadLatencyHist.sample(static_cast<double>(ready - now));
+    }
+    handleWriteback(res.writeback, now);
+    return ready;
+}
+
+void
+Partition::write(LocalAddr local, Addr phys, Cycle now, MemSpace space)
+{
+    (void)phys;
+    (void)space;
+    L2Bank &b = *banks[bankOf(local)];
+    L2AccessResult res = b.accessData(local, true);
+    handleWriteback(res.writeback, now);
+}
+
+void
+Partition::hostCopy(LocalAddr base, std::uint64_t bytes,
+                    bool declared_read_only)
+{
+    engine.hostCopy(base, bytes, declared_read_only);
+}
+
+void
+Partition::kernelBoundary(Cycle now)
+{
+    engine.kernelBoundary(now);
+    for (auto &b : banks)
+        b->resetSampling();
+}
+
+bool
+Partition::victimActive() const
+{
+    if (!meeConfig.victimL2)
+        return false;
+    // Enable only when the sampled data miss rate is very high: the
+    // L2 is then doing little for data and is better spent on
+    // metadata (Section IV-D).
+    for (const auto &b : banks) {
+        if (!b->sampleWarm())
+            return false;
+        if (b->sampledMissRate() < gpuConfig.victimMissRateThreshold)
+            return false;
+    }
+    return true;
+}
+
+bool
+Partition::victimProbe(Addr meta_addr)
+{
+    return banks[bankOf(meta_addr)]->probeVictim(meta_addr);
+}
+
+void
+Partition::victimInsert(Addr meta_addr, std::uint32_t valid_mask,
+                        std::uint32_t dirty_mask, mem::TrafficClass cls,
+                        Cycle now)
+{
+    (void)cls;
+    mem::Writeback wb =
+        banks[bankOf(meta_addr)]->insertVictim(meta_addr, valid_mask,
+                                               dirty_mask);
+    handleWriteback(wb, now);
+}
+
+void
+Partition::regStats(stats::StatGroup *parent)
+{
+    statGroup.attach(parent, "p" + std::to_string(partitionId));
+    statGroup.addScalar("read_miss_latency_total", &statReadMissLatency,
+                        "sum of read-miss service latencies");
+    statGroup.addScalar("read_misses", &statReadMisses,
+                        "L2 read misses serviced");
+    statGroup.addHistogram("read_miss_latency", &statReadLatencyHist,
+                           "read-miss service latency (cycles)");
+    dram.regStats(&statGroup);
+    engine.regStats(&statGroup);
+    for (auto &b : banks)
+        b->regStats(&statGroup);
+}
+
+} // namespace shmgpu::gpu

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * A GPU memory partition: one GDDR channel, two L2 banks, and the
+ * partition's Memory Encryption Engine (Fig. 6 of the paper). Also
+ * implements the L2-as-victim-cache hooks the MEE uses (Section IV-D).
+ */
+
+#ifndef SHMGPU_GPU_PARTITION_HH
+#define SHMGPU_GPU_PARTITION_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "detect/oracle.hh"
+#include "gpu/l2bank.hh"
+#include "gpu/params.hh"
+#include "mee/engine.hh"
+#include "mem/addr_map.hh"
+#include "mem/dram.hh"
+
+namespace shmgpu::gpu
+{
+
+/** One memory partition (L2 banks + MEE + GDDR channel). */
+class Partition : public mee::VictimCacheIf
+{
+  public:
+    Partition(const GpuParams &gpu_params, const mee::MeeParams &mee_params,
+              PartitionId id, const meta::MetadataLayout *layout,
+              mee::DramRouter *router, const mem::AddressMap *map,
+              meta::CommonCounterTable *common_table);
+
+    /**
+     * SM read of the 32 B sector at partition-local @p local
+     * (physical @p phys), arriving at the partition at @p now.
+     * Returns the cycle the (decrypted) data leaves the partition.
+     */
+    Cycle read(LocalAddr local, Addr phys, Cycle now,
+               MemSpace space = MemSpace::Global);
+
+    /** SM write of the 32 B sector at @p local. Fire-and-forget. */
+    void write(LocalAddr local, Addr phys, Cycle now,
+               MemSpace space = MemSpace::Global);
+
+    /** Host copy covering [base, base+bytes) of this partition. */
+    void hostCopy(LocalAddr base, std::uint64_t bytes,
+                  bool declared_read_only = false);
+
+    /** Kernel boundary: MEE bookkeeping + sampling reset. */
+    void kernelBoundary(Cycle now);
+
+    /** Attach a profile collector (pass 1) or truth profile. */
+    void collectInto(detect::AccessProfile *profile) { collector = profile; }
+    void setTruthProfile(const detect::AccessProfile *profile)
+    {
+        engine.setProfile(profile);
+    }
+
+    /** @{ mee::VictimCacheIf */
+    bool victimActive() const override;
+    bool victimProbe(Addr meta_addr) override;
+    void victimInsert(Addr meta_addr, std::uint32_t valid_mask,
+                      std::uint32_t dirty_mask, mem::TrafficClass cls,
+                      Cycle now) override;
+    Cycle victimHitLatency() const override
+    {
+        return gpuConfig.l2HitLatency;
+    }
+    /** @} */
+
+    mem::DramChannel &channel() { return dram; }
+    const mem::DramChannel &channel() const { return dram; }
+    mee::MeeEngine &mee() { return engine; }
+    const mee::MeeEngine &mee() const { return engine; }
+    L2Bank &bank(std::uint32_t i) { return *banks.at(i); }
+    std::uint32_t numBanks() const
+    {
+        return static_cast<std::uint32_t>(banks.size());
+    }
+
+    void regStats(stats::StatGroup *parent);
+
+  private:
+    std::uint32_t bankOf(Addr local) const
+    {
+        return static_cast<std::uint32_t>((local / 128) % banks.size());
+    }
+
+    /** Route an evicted L2 line to DRAM (and the MEE, for data). */
+    void handleWriteback(const mem::Writeback &wb, Cycle now);
+
+    GpuParams gpuConfig;
+    mee::MeeParams meeConfig;
+    PartitionId partitionId;
+    const mem::AddressMap *addrMap;
+    mem::DramChannel dram;
+    std::vector<std::unique_ptr<L2Bank>> banks;
+    mee::MeeEngine engine;
+    detect::AccessProfile *collector = nullptr;
+
+    stats::StatGroup statGroup;
+    stats::Scalar statReadMissLatency;
+    stats::Scalar statReadMisses;
+    stats::Histogram statReadLatencyHist;
+
+  public:
+    /** Average read-miss service latency (cycles), for diagnostics. */
+    double
+    avgReadMissLatency() const
+    {
+        return statReadMisses.value()
+                   ? statReadMissLatency.value() / statReadMisses.value()
+                   : 0;
+    }
+};
+
+} // namespace shmgpu::gpu
+
+#endif // SHMGPU_GPU_PARTITION_HH

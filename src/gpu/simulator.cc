@@ -1,0 +1,394 @@
+#include "gpu/simulator.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace shmgpu::gpu
+{
+
+namespace
+{
+
+InterconnectParams
+makeIcntParams(const GpuParams &gp)
+{
+    InterconnectParams p = gp.icnt;
+    p.latency = gp.icntLatency;
+    return p;
+}
+
+} // namespace
+
+GpuSimulator::GpuSimulator(const GpuParams &gpu_params,
+                           const mee::MeeParams &mee_params,
+                           const workload::WorkloadSpec &workload)
+    : gpuConfig(gpu_params), meeConfig(mee_params), spec(&workload),
+      bufferBases(workload::layoutBuffers(workload)),
+      map(gpu_params.numPartitions, gpu_params.interleaveBytes),
+      icnt(makeIcntParams(gpu_params), gpu_params.numPartitions)
+{
+    workload::validateSpec(workload);
+    Addr footprint = workload::footprintBytes(workload);
+    shm_assert(footprint <= gpuConfig.protectedBytesPerPartition *
+                                gpuConfig.numPartitions,
+               "workload '{}' ({} B) exceeds the protected space",
+               workload.name, footprint);
+    init();
+}
+
+GpuSimulator::GpuSimulator(const GpuParams &gpu_params,
+                           const mee::MeeParams &mee_params,
+                           const workload::Trace &input_trace)
+    : gpuConfig(gpu_params), meeConfig(mee_params), trace(&input_trace),
+      map(gpu_params.numPartitions, gpu_params.interleaveBytes),
+      icnt(makeIcntParams(gpu_params), gpu_params.numPartitions)
+{
+    shm_assert(trace->numSms == gpuConfig.numSms,
+               "trace was recorded for {} SMs, GPU has {}",
+               trace->numSms, gpuConfig.numSms);
+    init();
+}
+
+void
+GpuSimulator::init()
+{
+
+    // Metadata layout: per-partition geometry over local addresses
+    // (PSSM-style), or one global geometry over physical addresses.
+    meta::LayoutParams lp;
+    lp.chunkBytes = meeConfig.streamDetector.chunkBytes;
+    lp.bmtArity = meeConfig.bmtArity;
+    lp.macBytes = meeConfig.macBytes;
+    if (meeConfig.localMetadataAddressing) {
+        lp.dataBytes = gpuConfig.protectedBytesPerPartition;
+        layout = std::make_unique<meta::MetadataLayout>(lp);
+    } else {
+        lp.dataBytes = gpuConfig.protectedBytesPerPartition *
+                       gpuConfig.numPartitions;
+        globalLayout = std::make_unique<meta::MetadataLayout>(lp);
+    }
+    const meta::MetadataLayout *use_layout =
+        meeConfig.localMetadataAddressing ? layout.get()
+                                          : globalLayout.get();
+
+    // Common-counter tables: on-chip, so one per partition for local
+    // addressing and a single shared one for physical addressing.
+    if (meeConfig.commonCounters) {
+        unsigned tables = meeConfig.localMetadataAddressing
+                              ? gpuConfig.numPartitions
+                              : 1;
+        for (unsigned t = 0; t < tables; ++t)
+            commonTables.push_back(
+                std::make_unique<meta::CommonCounterTable>(*use_layout));
+    }
+
+    for (PartitionId p = 0; p < gpuConfig.numPartitions; ++p) {
+        meta::CommonCounterTable *table = nullptr;
+        if (meeConfig.commonCounters) {
+            table = meeConfig.localMetadataAddressing
+                        ? commonTables[p].get()
+                        : commonTables[0].get();
+        }
+        partitions.push_back(std::make_unique<Partition>(
+            gpuConfig, meeConfig, p, use_layout, this, &map, table));
+    }
+
+    sms.resize(gpuConfig.numSms);
+
+    rootStats.attach(nullptr, "sim");
+    rootStats.addScalar("cycles", &statCycles, "simulated cycles");
+    rootStats.addScalar("instructions", &statInstructions,
+                        "instructions retired");
+    rootStats.addScalar("window_stalls", &statWindowStalls,
+                        "SM cycles stalled on the load window");
+    rootStats.addScalar("kernels_run", &statKernelsRun, "kernel launches");
+    rootStats.addScalar("cycle_cap_hits", &statCycleCapHits,
+                        "kernels truncated by the cycle budget");
+    icnt.regStats(&rootStats);
+    for (auto &p : partitions)
+        p->regStats(&rootStats);
+}
+
+GpuSimulator::~GpuSimulator() = default;
+
+void
+GpuSimulator::collectProfile(detect::AccessProfile *profile)
+{
+    collector = profile;
+    for (auto &p : partitions)
+        p->collectInto(profile);
+}
+
+void
+GpuSimulator::attributeAgainst(const detect::AccessProfile *profile)
+{
+    for (auto &p : partitions)
+        p->setTruthProfile(profile);
+}
+
+void
+GpuSimulator::primeFromProfile(const detect::AccessProfile &profile)
+{
+    for (auto &p : partitions)
+        p->mee().primeFromProfile(profile);
+}
+
+Cycle
+GpuSimulator::enqueueMeta(PartitionId target, Addr bank_addr,
+                          std::uint32_t bytes, mem::AccessType type,
+                          mem::TrafficClass cls, Cycle now)
+{
+    return partitions.at(target)
+        ->channel()
+        .enqueue(now, bank_addr, bytes, type, cls)
+        .complete;
+}
+
+void
+GpuSimulator::applyHostCopyRange(Addr base, std::uint64_t bytes,
+                                 bool declared_read_only)
+{
+    if (bytes == 0)
+        return; // a copy that does not mark read-only regions
+
+    // An interleaved physical range covers one roughly contiguous
+    // local window in every partition.
+    std::uint64_t stride =
+        gpuConfig.interleaveBytes * gpuConfig.numPartitions;
+    LocalAddr lo = base / stride * gpuConfig.interleaveBytes;
+    LocalAddr hi = divCeil(base + bytes, stride) *
+                   gpuConfig.interleaveBytes;
+    hi = std::min<LocalAddr>(hi, gpuConfig.protectedBytesPerPartition);
+    for (auto &p : partitions)
+        p->hostCopy(lo, hi - lo, declared_read_only);
+}
+
+template <typename Source>
+void
+GpuSimulator::tickSm(SmId sm, Source &source, Cycle now)
+{
+    SmUnit &u = sms[sm];
+    if (u.drained)
+        return;
+
+    if (!u.hasOp) {
+        if (!source.next(sm, u.op)) {
+            u.drained = true;
+            return;
+        }
+        u.hasOp = true;
+        u.computeLeft = u.op.computeInstrs;
+    }
+
+    if (u.computeLeft > 0) {
+        --u.computeLeft;
+        ++u.instructions;
+        return;
+    }
+
+    mem::PartitionAddr pa = map.toLocal(u.op.addr);
+    Partition &part = *partitions[pa.partition];
+
+    if (u.op.type == mem::AccessType::Read) {
+        if (u.outstanding >= currentWindow) {
+            ++u.windowStalls;
+            return; // retry next cycle
+        }
+        Cycle arrive = icnt.request(pa.partition,
+                                    gpuConfig.icnt.requestBytes, now);
+        Cycle ready = part.read(pa.local, u.op.addr, arrive, u.op.space);
+        completions.emplace(icnt.reply(pa.partition, u.op.bytes, ready),
+                            sm);
+        ++u.outstanding;
+    } else {
+        Cycle arrive = icnt.request(
+            pa.partition, gpuConfig.icnt.requestBytes + u.op.bytes, now);
+        part.write(pa.local, u.op.addr, arrive);
+    }
+    ++u.instructions;
+    u.hasOp = false;
+}
+
+template <typename Source>
+void
+GpuSimulator::runKernelLoop(Source &source, std::uint32_t window)
+{
+    currentWindow = window;
+    for (auto &u : sms) {
+        u.hasOp = false;
+        u.computeLeft = 0;
+        u.drained = false;
+    }
+
+    Cycle kernel_start = currentCycle;
+    std::uint64_t outstanding_total = 0;
+
+    auto all_drained = [&] {
+        for (const auto &u : sms)
+            if (!u.drained)
+                return false;
+        return true;
+    };
+
+    while (true) {
+        // Retire completed loads first so their SMs can issue again.
+        while (!completions.empty() &&
+               completions.top().first <= currentCycle) {
+            SmId sm = completions.top().second;
+            completions.pop();
+            shm_assert(sms[sm].outstanding > 0, "spurious completion");
+            --sms[sm].outstanding;
+            --outstanding_total;
+        }
+
+        for (SmId sm = 0; sm < gpuConfig.numSms; ++sm) {
+            std::uint32_t prev = sms[sm].outstanding;
+            tickSm(sm, source, currentCycle);
+            outstanding_total += sms[sm].outstanding - prev;
+        }
+
+        ++currentCycle;
+
+        if (all_drained() && outstanding_total == 0)
+            break;
+        if (currentCycle - kernel_start >= gpuConfig.maxCyclesPerKernel) {
+            ++statCycleCapHits;
+            // Drain the bookkeeping: outstanding loads are abandoned.
+            while (!completions.empty())
+                completions.pop();
+            for (auto &u : sms)
+                u.outstanding = 0;
+            break;
+        }
+    }
+
+    for (auto &p : partitions)
+        p->kernelBoundary(currentCycle);
+    ++statKernelsRun;
+}
+
+void
+GpuSimulator::runKernel(std::uint32_t kernel_idx)
+{
+    workload::KernelTrace source(*spec, bufferBases, kernel_idx,
+                                 gpuConfig.numSms);
+    const auto &kspec = spec->kernels[kernel_idx];
+    std::uint32_t window = kspec.maxOutstanding
+                               ? std::min(kspec.maxOutstanding,
+                                          gpuConfig.smWindow)
+                               : gpuConfig.smWindow;
+    runKernelLoop(source, window);
+}
+
+RunMetrics
+GpuSimulator::run()
+{
+    if (trace) {
+        for (std::uint32_t k = 0; k < trace->kernels.size(); ++k) {
+            for (const auto &copy : trace->kernels[k].copies)
+                applyHostCopyRange(copy.base, copy.bytes,
+                                   copy.declaredReadOnly);
+            workload::TraceReplay source(*trace, k);
+            runKernelLoop(source, gpuConfig.smWindow);
+        }
+    } else {
+        for (std::uint32_t k = 0; k < spec->kernels.size(); ++k) {
+            for (const auto &copy : spec->kernels[k].preCopies)
+                applyHostCopyRange(
+                    bufferBases.at(copy.buffer),
+                    copy.marksReadOnly
+                        ? spec->buffers.at(copy.buffer).bytes
+                        : 0,
+                    copy.declaredReadOnly);
+            runKernel(k);
+        }
+    }
+    if (collector)
+        collector->finalize(currentCycle);
+
+    statCycles.set(static_cast<double>(currentCycle));
+    std::uint64_t instructions = 0;
+    std::uint64_t window_stalls = 0;
+    for (const auto &u : sms) {
+        instructions += u.instructions;
+        window_stalls += u.windowStalls;
+    }
+    statInstructions.set(static_cast<double>(instructions));
+    statWindowStalls.set(static_cast<double>(window_stalls));
+
+    return gatherMetrics();
+}
+
+RunMetrics
+GpuSimulator::gatherMetrics() const
+{
+    RunMetrics m;
+    m.cycles = currentCycle;
+    for (const auto &u : sms)
+        m.instructions += u.instructions;
+    m.ipc = m.cycles ? static_cast<double>(m.instructions) /
+                           static_cast<double>(m.cycles)
+                     : 0;
+
+    double l2_accesses = 0;
+    double l2_misses = 0;
+    for (const auto &p : partitions) {
+        const auto &ch = p->channel();
+        m.bytesData += ch.bytesMoved(mem::TrafficClass::Data);
+        m.bytesCounter += ch.bytesMoved(mem::TrafficClass::Counter);
+        m.bytesMac += ch.bytesMoved(mem::TrafficClass::Mac);
+        m.bytesBmt += ch.bytesMoved(mem::TrafficClass::Bmt);
+        m.bytesExtra += ch.bytesMoved(mem::TrafficClass::Extra);
+
+        const auto &mee = p->mee();
+        const auto &ps = mee.predictionStats();
+        m.roCorrect += ps.roCorrect.value();
+        m.roMpInit += ps.roMpInit.value();
+        m.roMpAliasing += ps.roMpAliasing.value();
+        m.strCorrect += ps.strCorrect.value();
+        m.strMpInit += ps.strMpInit.value();
+        m.strMpAliasing += ps.strMpAliasing.value();
+        m.strMpRuntimeRo += ps.strMpRuntimeRo.value();
+        m.strMpRuntimeNonRo += ps.strMpRuntimeNonRo.value();
+        m.sharedCtrReads += mee.sharedCounterReads();
+        m.commonCtrHits += mee.commonCtrHits();
+        m.roTransitions += mee.roTransitions();
+        m.chunkMacAccesses += mee.chunkMacAccesses();
+        m.blockMacAccesses += mee.blockMacAccesses();
+        m.dualMacFallbacks += mee.dualMacFallbacks();
+        m.victimHits += mee.victimHits();
+        m.victimInserts += mee.victimInserts();
+
+        m.energy.mdcAccesses += static_cast<std::uint64_t>(
+            mee.counterCache().accesses() + mee.macCache().accesses() +
+            mee.bmtCache().accesses());
+        m.energy.aesBlocks += static_cast<std::uint64_t>(
+            meeConfig.secure ? mee.counterCache().accesses() : 0);
+        m.energy.hashes += static_cast<std::uint64_t>(
+            mee.chunkMacAccesses() + mee.blockMacAccesses());
+
+        for (std::uint32_t b = 0; b < gpuConfig.l2BanksPerPartition;
+             ++b) {
+            l2_accesses += p->bank(b).accesses();
+            l2_misses += p->bank(b).misses();
+        }
+    }
+    std::uint64_t total_bytes = m.bytesData + m.bytesCounter + m.bytesMac +
+                                m.bytesBmt + m.bytesExtra;
+    double peak = gpuConfig.dram.bytesPerCycle *
+                  static_cast<double>(gpuConfig.numPartitions) *
+                  static_cast<double>(m.cycles);
+    m.bandwidthUtilization =
+        peak > 0 ? static_cast<double>(total_bytes) / peak : 0;
+    m.l2MissRate = l2_accesses > 0 ? l2_misses / l2_accesses : 0;
+
+    m.energy.cycles = m.cycles;
+    m.energy.instructions = m.instructions;
+    m.energy.l2Accesses = static_cast<std::uint64_t>(l2_accesses);
+    m.energy.dramBytes = total_bytes;
+    return m;
+}
+
+} // namespace shmgpu::gpu

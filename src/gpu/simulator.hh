@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The top-level trace-driven GPU simulator.
+ *
+ * Thirty SM request generators execute a workload's kernels (compute
+ * instructions at one per cycle, memory instructions as 32 B sector
+ * accesses), an interleaved address map routes sectors to twelve
+ * memory partitions (two L2 banks + MEE + GDDR channel each), and an
+ * outstanding-load window per SM provides latency tolerance. IPC is
+ * instructions retired over cycles; every metadata byte contends for
+ * the same GDDR channels as the data — the effect the paper measures.
+ */
+
+#ifndef SHMGPU_GPU_SIMULATOR_HH
+#define SHMGPU_GPU_SIMULATOR_HH
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/stats.hh"
+#include "detect/oracle.hh"
+#include "gpu/metrics.hh"
+#include "gpu/params.hh"
+#include "gpu/interconnect.hh"
+#include "gpu/partition.hh"
+#include "mee/engine.hh"
+#include "mem/addr_map.hh"
+#include "meta/counters.hh"
+#include "meta/layout.hh"
+#include "workload/benchmarks.hh"
+#include "workload/trace.hh"
+#include "workload/trace_file.hh"
+
+namespace shmgpu::gpu
+{
+
+/** A full GPU + secure-memory simulation of one workload. */
+class GpuSimulator : public mee::DramRouter
+{
+  public:
+    GpuSimulator(const GpuParams &gpu_params,
+                 const mee::MeeParams &mee_params,
+                 const workload::WorkloadSpec &workload);
+
+    /**
+     * Trace-driven mode (Accel-Sim style): replay a recorded trace
+     * through the full memory system instead of generating accesses
+     * from a workload model.
+     */
+    GpuSimulator(const GpuParams &gpu_params,
+                 const mee::MeeParams &mee_params,
+                 const workload::Trace &trace);
+
+    ~GpuSimulator() override;
+
+    /** Collect a ground-truth profile while running (pass 1). */
+    void collectProfile(detect::AccessProfile *profile);
+
+    /** Attach truth for Fig. 10/11 misprediction attribution. */
+    void attributeAgainst(const detect::AccessProfile *profile);
+
+    /** Prime detectors from a profile (SHM_upper_bound). */
+    void primeFromProfile(const detect::AccessProfile &profile);
+
+    /** Run every kernel of the workload; returns the metrics. */
+    RunMetrics run();
+
+    /** mee::DramRouter: metadata transactions from the MEEs. */
+    Cycle enqueueMeta(PartitionId target, Addr bank_addr,
+                      std::uint32_t bytes, mem::AccessType type,
+                      mem::TrafficClass cls, Cycle now) override;
+
+    Partition &partition(PartitionId p) { return *partitions.at(p); }
+    const mem::AddressMap &addressMap() const { return map; }
+    stats::StatGroup &statsRoot() { return rootStats; }
+
+  private:
+    struct SmUnit
+    {
+        workload::TraceOp op;
+        bool hasOp = false;
+        std::uint32_t computeLeft = 0;
+        std::uint32_t outstanding = 0;
+        bool drained = false;
+        std::uint64_t instructions = 0;
+        std::uint64_t windowStalls = 0;
+    };
+
+    void init();
+    void applyHostCopyRange(Addr base, std::uint64_t bytes,
+                            bool declared_read_only);
+    void runKernel(std::uint32_t kernel_idx);
+    template <typename Source>
+    void runKernelLoop(Source &source, std::uint32_t window);
+    template <typename Source>
+    void tickSm(SmId sm, Source &source, Cycle now);
+    RunMetrics gatherMetrics() const;
+
+    GpuParams gpuConfig;
+    mee::MeeParams meeConfig;
+    const workload::WorkloadSpec *spec = nullptr;
+    const workload::Trace *trace = nullptr;
+    std::vector<Addr> bufferBases;
+
+    mem::AddressMap map;
+    Interconnect icnt;
+    /** Per-partition layout (local addressing) or global (physical). */
+    std::unique_ptr<meta::MetadataLayout> layout;
+    std::unique_ptr<meta::MetadataLayout> globalLayout;
+    /** Common-counter tables: per partition (local) or one shared. */
+    std::vector<std::unique_ptr<meta::CommonCounterTable>> commonTables;
+
+    std::vector<std::unique_ptr<Partition>> partitions;
+    std::vector<SmUnit> sms;
+
+    using Completion = std::pair<Cycle, SmId>;
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<>>
+        completions;
+
+    Cycle currentCycle = 0;
+    std::uint32_t currentWindow = 0; //!< per-kernel occupancy cap
+    detect::AccessProfile *collector = nullptr;
+
+    stats::StatGroup rootStats;
+    stats::Scalar statCycles;
+    stats::Scalar statInstructions;
+    stats::Scalar statWindowStalls;
+    stats::Scalar statKernelsRun;
+    stats::Scalar statCycleCapHits;
+};
+
+} // namespace shmgpu::gpu
+
+#endif // SHMGPU_GPU_SIMULATOR_HH

@@ -1,0 +1,353 @@
+#include "mee/functional.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace shmgpu::mee
+{
+
+namespace
+{
+constexpr std::uint32_t kBlock = 128;
+} // namespace
+
+SecureMemoryContext::SecureMemoryContext(
+    const meta::LayoutParams &layout_params, std::uint64_t context_seed,
+    const detect::ReadOnlyDetectorParams &ro_params)
+    : metaLayout(layout_params), keys(crypto::generateKeys(context_seed)),
+      ctrEngine(keys.encryptionKey), macEngine(keys.macKey),
+      counterStore(metaLayout), macs(metaLayout),
+      bmt(metaLayout, counterStore, keys.treeKey), roDetector(ro_params)
+{
+}
+
+crypto::Seed
+SecureMemoryContext::seedFor(LocalAddr addr, bool read_only) const
+{
+    LocalAddr block = addr / kBlock * kBlock;
+    if (read_only)
+        return {block, shared.value(), 0, 0};
+    meta::CounterValue cv = counterStore.read(block);
+    return {block, cv.major, cv.minor, 0};
+}
+
+crypto::Mac
+SecureMemoryContext::macFor(const crypto::DataBlock &ciphertext,
+                            LocalAddr addr, bool read_only) const
+{
+    crypto::Seed s = seedFor(addr, read_only);
+    return macEngine.blockMac(ciphertext, s.address, s.major, s.minor, 0);
+}
+
+crypto::Mac
+SecureMemoryContext::storedBlockMacOrInit(LocalAddr addr)
+{
+    LocalAddr block = addr / kBlock * kBlock;
+    if (auto mac = macs.blockMac(block))
+        return *mac;
+    // Context initialization computed MACs for the whole protected
+    // space; blocks we never materialized get theirs lazily, over
+    // their current (zero) ciphertext and counters.
+    crypto::Mac mac = macFor(store.readBlock(block), block,
+                             roDetector.isReadOnly(block));
+    macs.setBlockMac(block, mac);
+    return mac;
+}
+
+void
+SecureMemoryContext::refreshChunkMac(LocalAddr addr)
+{
+    std::uint64_t chunk_bytes = metaLayout.params().chunkBytes;
+    LocalAddr base = addr / chunk_bytes * chunk_bytes;
+    LocalAddr end = std::min<LocalAddr>(base + chunk_bytes,
+                                        metaLayout.params().dataBytes);
+    std::vector<crypto::Mac> block_macs;
+    for (LocalAddr b = base; b < end; b += kBlock)
+        block_macs.push_back(storedBlockMacOrInit(b));
+    macs.setChunkMac(base, macEngine.chunkMac(block_macs, base, 0));
+}
+
+void
+SecureMemoryContext::hostWrite(LocalAddr addr,
+                               const crypto::DataBlock &plaintext,
+                               bool mark_read_only)
+{
+    LocalAddr block = addr / kBlock * kBlock;
+
+    // Marking a region read-only is only sound while its sibling
+    // blocks still decrypt under (shared, 0): a region that has
+    // devolved to per-block counters must first go through
+    // InputReadOnlyReset. The command-processor equivalent: plain
+    // memcpy marking happens at context init; mid-context reuse uses
+    // the API.
+    bool region_fresh =
+        roDetector.isReadOnly(block) ||
+        roDetector.causeFor(block) == detect::NotReadOnlyCause::NeverSet;
+    if (!mark_read_only || !region_fresh) {
+        writeWithPerBlockCounter(block, plaintext);
+        return;
+    }
+
+    roDetector.markInputRegion(block, kBlock);
+    roRegionBases.insert(regionBase(block));
+    crypto::DataBlock cipher =
+        ctrEngine.transformed(plaintext, seedFor(block, true));
+    store.writeBlock(block, cipher);
+    macs.setBlockMac(block, macFor(cipher, block, true));
+    refreshChunkMac(block);
+}
+
+void
+SecureMemoryContext::hostWriteRange(LocalAddr base, const void *data,
+                                    std::size_t len, bool mark_read_only)
+{
+    shm_assert(base % kBlock == 0 && len % kBlock == 0,
+               "host copies must be 128B-block aligned");
+    const auto *src = static_cast<const std::uint8_t *>(data);
+    for (std::size_t off = 0; off < len; off += kBlock) {
+        crypto::DataBlock plain;
+        std::memcpy(plain.data(), src + off, kBlock);
+        hostWrite(base + off, plain, mark_read_only);
+    }
+}
+
+void
+SecureMemoryContext::writeWithPerBlockCounter(
+    LocalAddr addr, const crypto::DataBlock &plaintext)
+{
+    LocalAddr block = addr / kBlock * kBlock;
+
+    if (roDetector.recordWrite(block)) {
+        // Read-only -> not-read-only transition (Fig. 8): propagate
+        // the shared counter into every counter block of the predictor
+        // region, so untouched blocks keep decrypting correctly.
+        roRegionBases.erase(regionBase(block));
+        std::uint64_t region_bytes = roDetector.params().regionBytes;
+        std::uint64_t cover =
+            static_cast<std::uint64_t>(
+                metaLayout.params().blocksPerCounterBlock) *
+            kBlock;
+        LocalAddr base = block / region_bytes * region_bytes;
+        LocalAddr end = std::min<LocalAddr>(
+            base + region_bytes, metaLayout.params().dataBytes);
+        for (LocalAddr a = base; a < end; a += cover) {
+            counterStore.setRegionMajor(a, shared.value());
+            bmt.updatePath(metaLayout.counterBlockIndex(a));
+        }
+    }
+
+    if (counterStore.read(block).minor + 1 >= counterStore.minorLimit())
+        reencryptRegion(block);
+
+    meta::IncrementResult inc = counterStore.increment(block);
+    shm_assert(!inc.minorOverflow, "overflow after re-encryption");
+    bmt.updatePath(metaLayout.counterBlockIndex(block));
+
+    crypto::Seed s{block, inc.value.major, inc.value.minor, 0};
+    crypto::DataBlock cipher = ctrEngine.transformed(plaintext, s);
+    store.writeBlock(block, cipher);
+    macs.setBlockMac(block,
+                     macEngine.blockMac(cipher, block, s.major, s.minor,
+                                        0));
+    refreshChunkMac(block);
+}
+
+void
+SecureMemoryContext::deviceWrite(LocalAddr addr,
+                                 const crypto::DataBlock &plaintext)
+{
+    writeWithPerBlockCounter(addr, plaintext);
+}
+
+void
+SecureMemoryContext::reencryptRegion(LocalAddr addr)
+{
+    std::uint64_t cover =
+        static_cast<std::uint64_t>(
+            metaLayout.params().blocksPerCounterBlock) *
+        kBlock;
+    LocalAddr base = addr / cover * cover;
+    LocalAddr end = std::min<LocalAddr>(base + cover,
+                                        metaLayout.params().dataBytes);
+
+    // Decrypt the whole region under its current counters.
+    std::vector<crypto::DataBlock> plains;
+    for (LocalAddr b = base; b < end; b += kBlock) {
+        plains.push_back(ctrEngine.transformed(store.readBlock(b),
+                                               seedFor(b, false)));
+    }
+
+    counterStore.bumpMajor(base);
+    bmt.updatePath(metaLayout.counterBlockIndex(base));
+
+    // Re-encrypt everything under (major+1, 0) and refresh MACs.
+    std::size_t i = 0;
+    for (LocalAddr b = base; b < end; b += kBlock, ++i) {
+        crypto::Seed s = seedFor(b, false);
+        crypto::DataBlock cipher = ctrEngine.transformed(plains[i], s);
+        store.writeBlock(b, cipher);
+        macs.setBlockMac(b, macEngine.blockMac(cipher, b, s.major,
+                                               s.minor, 0));
+    }
+    std::uint64_t chunk_bytes = metaLayout.params().chunkBytes;
+    for (LocalAddr c = base; c < end; c += chunk_bytes)
+        refreshChunkMac(c);
+}
+
+FunctionalReadResult
+SecureMemoryContext::deviceRead(LocalAddr addr)
+{
+    LocalAddr block = addr / kBlock * kBlock;
+    bool ro = roDetector.isReadOnly(block);
+
+    crypto::DataBlock cipher = store.readBlock(block);
+    crypto::Mac expected = macFor(cipher, block, ro);
+    crypto::Mac stored = storedBlockMacOrInit(block);
+
+    FunctionalReadResult res;
+    if (expected != stored) {
+        res.status = VerifyStatus::MacMismatch;
+        return res;
+    }
+    if (!ro) {
+        // Counters came from off-chip state: check freshness.
+        auto verdict =
+            bmt.verifyPath(metaLayout.counterBlockIndex(block));
+        if (!verdict.ok) {
+            res.status = VerifyStatus::BmtMismatch;
+            return res;
+        }
+    }
+    res.data = ctrEngine.transformed(cipher, seedFor(block, ro));
+    res.status = VerifyStatus::Ok;
+    return res;
+}
+
+void
+SecureMemoryContext::reencryptSharedRegion(LocalAddr region_base,
+                                           std::uint64_t old_shared)
+{
+    LocalAddr end = std::min<LocalAddr>(
+        region_base + roDetector.params().regionBytes,
+        metaLayout.params().dataBytes);
+    for (LocalAddr b = region_base; b < end; b += kBlock) {
+        crypto::DataBlock plain = ctrEngine.transformed(
+            store.readBlock(b), crypto::Seed{b, old_shared, 0, 0});
+        crypto::Seed new_seed{b, shared.value(), 0, 0};
+        crypto::DataBlock cipher = ctrEngine.transformed(plain, new_seed);
+        store.writeBlock(b, cipher);
+        macs.setBlockMac(b, macEngine.blockMac(cipher, b, new_seed.major,
+                                               0, 0));
+    }
+    std::uint64_t chunk_bytes = metaLayout.params().chunkBytes;
+    for (LocalAddr c = region_base; c < end; c += chunk_bytes)
+        refreshChunkMac(c);
+}
+
+void
+SecureMemoryContext::inputReadOnlyReset(LocalAddr base,
+                                        std::uint64_t bytes,
+                                        bool reencrypt)
+{
+    // Fig. 9: scan the range's major counters and raise the shared
+    // counter above the maximum, so (shared', 0) can never collide
+    // with a previously used per-block pair.
+    std::uint64_t old_shared = shared.value();
+    shared.raiseAbove(
+        std::max(counterStore.maxMajor(base, bytes), old_shared));
+
+    // The shared counter is global: every region still encrypted
+    // under the old value must follow it or become unreadable — the
+    // consequence Section IV-B spells out. Option (b) re-encryption,
+    // applied to all affected regions.
+    for (LocalAddr rb : roRegionBases)
+        reencryptSharedRegion(rb, old_shared);
+
+    LocalAddr end = std::min<LocalAddr>(base + bytes,
+                                        metaLayout.params().dataBytes);
+    if (reencrypt) {
+        // Also bring the target range (possibly under per-block
+        // counters after kernel writes) to the new shared value.
+        for (LocalAddr b = base; b < end; b += kBlock) {
+            if (roRegionBases.contains(regionBase(b)))
+                continue; // already re-encrypted above
+            crypto::DataBlock plain = ctrEngine.transformed(
+                store.readBlock(b), seedFor(b, false));
+            crypto::Seed new_seed{b, shared.value(), 0, 0};
+            crypto::DataBlock cipher =
+                ctrEngine.transformed(plain, new_seed);
+            store.writeBlock(b, cipher);
+            macs.setBlockMac(b,
+                             macEngine.blockMac(cipher, b,
+                                                new_seed.major, 0, 0));
+        }
+        std::uint64_t chunk_bytes = metaLayout.params().chunkBytes;
+        for (LocalAddr c = base / chunk_bytes * chunk_bytes; c < end;
+             c += chunk_bytes)
+            refreshChunkMac(c);
+    }
+    // (Without re-encryption the host overwrites the range next; its
+    // old content is unreadable, exactly as the paper describes.)
+    roDetector.resetReadOnly(base, end - base);
+    for (LocalAddr rb = regionBase(base); rb < end;
+         rb += roDetector.params().regionBytes)
+        roRegionBases.insert(rb);
+}
+
+VerifyStatus
+SecureMemoryContext::verifyChunk(LocalAddr chunk_base)
+{
+    std::uint64_t chunk_bytes = metaLayout.params().chunkBytes;
+    LocalAddr base = chunk_base / chunk_bytes * chunk_bytes;
+    LocalAddr end = std::min<LocalAddr>(base + chunk_bytes,
+                                        metaLayout.params().dataBytes);
+
+    std::vector<crypto::Mac> block_macs;
+    bool any_not_ro = false;
+    for (LocalAddr b = base; b < end; b += kBlock) {
+        bool ro = roDetector.isReadOnly(b);
+        any_not_ro |= !ro;
+        block_macs.push_back(macFor(store.readBlock(b), b, ro));
+    }
+    auto stored = macs.chunkMac(base);
+    if (!stored) {
+        refreshChunkMac(base);
+        stored = macs.chunkMac(base);
+    }
+    if (macEngine.chunkMac(block_macs, base, 0) != *stored)
+        return VerifyStatus::MacMismatch;
+
+    if (any_not_ro) {
+        auto verdict = bmt.verifyPath(metaLayout.counterBlockIndex(base));
+        if (!verdict.ok)
+            return VerifyStatus::BmtMismatch;
+    }
+    return VerifyStatus::Ok;
+}
+
+SecureMemoryContext::BlockSnapshot
+SecureMemoryContext::snapshotBlock(LocalAddr addr) const
+{
+    LocalAddr block = addr / kBlock * kBlock;
+    BlockSnapshot snap;
+    snap.addr = block;
+    snap.ciphertext = store.readBlock(block);
+    if (auto mac = macs.blockMac(block))
+        snap.mac = *mac;
+    snap.counter = counterStore.read(block);
+    return snap;
+}
+
+void
+SecureMemoryContext::replayBlock(const BlockSnapshot &snapshot)
+{
+    store.writeBlock(snapshot.addr, snapshot.ciphertext);
+    macs.setBlockMac(snapshot.addr, snapshot.mac);
+    counterStore.restore(snapshot.addr, snapshot.counter);
+    // Note: the attacker cannot touch the on-chip BMT root, which is
+    // exactly what makes this replay detectable.
+}
+
+} // namespace shmgpu::mee

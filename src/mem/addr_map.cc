@@ -1,0 +1,56 @@
+#include "mem/addr_map.hh"
+
+#include "common/logging.hh"
+
+namespace shmgpu::mem
+{
+
+AddressMap::AddressMap(unsigned num_partitions,
+                       std::uint64_t interleave_bytes, bool xor_swizzle)
+    : partitions(num_partitions), stripeBytes(interleave_bytes),
+      swizzleEnabled(xor_swizzle)
+{
+    shm_assert(partitions > 0, "need at least one partition");
+    shm_assert(stripeBytes > 0, "interleave granularity must be nonzero");
+}
+
+std::uint64_t
+AddressMap::swizzle(std::uint64_t super_index) const
+{
+    if (!swizzleEnabled)
+        return 0;
+    // Cheap multiplicative mix; only the residue mod partitions is used.
+    std::uint64_t z = super_index * 0x9E3779B97F4A7C15ull;
+    z ^= z >> 29;
+    return z % partitions;
+}
+
+PartitionAddr
+AddressMap::toLocal(Addr addr) const
+{
+    std::uint64_t stripe = addr / stripeBytes;
+    std::uint64_t offset = addr % stripeBytes;
+    std::uint64_t super_index = stripe / partitions;
+
+    PartitionAddr out;
+    out.partition = static_cast<PartitionId>(
+        (stripe + swizzle(super_index)) % partitions);
+    out.local = super_index * stripeBytes + offset;
+    return out;
+}
+
+Addr
+AddressMap::toPhysical(PartitionId partition, LocalAddr local) const
+{
+    shm_assert(partition < partitions, "partition {} out of range",
+               partition);
+    std::uint64_t super_index = local / stripeBytes;
+    std::uint64_t offset = local % stripeBytes;
+    std::uint64_t sw = swizzle(super_index);
+    std::uint64_t lane = (partition + partitions - (sw % partitions)) %
+                         partitions;
+    std::uint64_t stripe = super_index * partitions + lane;
+    return stripe * stripeBytes + offset;
+}
+
+} // namespace shmgpu::mem

@@ -1,0 +1,64 @@
+#include "mem/backing_store.hh"
+
+#include <cstring>
+
+namespace shmgpu::mem
+{
+
+crypto::DataBlock
+BackingStore::readBlock(Addr addr) const
+{
+    auto it = blocks.find(align(addr));
+    if (it == blocks.end())
+        return crypto::DataBlock{}; // zero-filled
+    return it->second;
+}
+
+void
+BackingStore::writeBlock(Addr addr, const crypto::DataBlock &data)
+{
+    blocks[align(addr)] = data;
+}
+
+void
+BackingStore::read(Addr addr, void *out, std::size_t len) const
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (len > 0) {
+        Addr block = align(addr);
+        std::size_t offset = addr - block;
+        std::size_t take = std::min(len, std::size_t{128} - offset);
+        crypto::DataBlock data = readBlock(block);
+        std::memcpy(dst, data.data() + offset, take);
+        dst += take;
+        addr += take;
+        len -= take;
+    }
+}
+
+void
+BackingStore::write(Addr addr, const void *in, std::size_t len)
+{
+    const auto *src = static_cast<const std::uint8_t *>(in);
+    while (len > 0) {
+        Addr block = align(addr);
+        std::size_t offset = addr - block;
+        std::size_t take = std::min(len, std::size_t{128} - offset);
+        crypto::DataBlock data = readBlock(block);
+        std::memcpy(data.data() + offset, src, take);
+        blocks[block] = data;
+        src += take;
+        addr += take;
+        len -= take;
+    }
+}
+
+void
+BackingStore::corruptByte(Addr addr, std::uint8_t xor_mask)
+{
+    crypto::DataBlock data = readBlock(addr);
+    data[addr - align(addr)] ^= xor_mask;
+    blocks[align(addr)] = data;
+}
+
+} // namespace shmgpu::mem

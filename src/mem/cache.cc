@@ -1,0 +1,321 @@
+#include "mem/cache.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace shmgpu::mem
+{
+
+SectoredCache::SectoredCache(const CacheParams &params) : config(params)
+{
+    shm_assert(isPowerOf2(config.blockBytes), "block size must be pow2");
+    shm_assert(isPowerOf2(config.sectorBytes), "sector size must be pow2");
+    shm_assert(config.sectorBytes <= config.blockBytes,
+               "sector larger than block");
+    shm_assert(config.assoc > 0, "associativity must be nonzero");
+
+    sectorsPerBlock = config.blockBytes / config.sectorBytes;
+    shm_assert(sectorsPerBlock <= 32, "sector mask is 32 bits");
+
+    std::uint64_t num_blocks = config.sizeBytes / config.blockBytes;
+    shm_assert(num_blocks >= config.assoc,
+               "cache '{}' too small for its associativity", config.name);
+    numSets = num_blocks / config.assoc;
+    shm_assert(isPowerOf2(numSets), "number of sets must be pow2 (got {})",
+               numSets);
+    lines.resize(numSets * config.assoc);
+}
+
+std::size_t
+SectoredCache::setIndex(Addr block_addr) const
+{
+    return (block_addr / config.blockBytes) % numSets;
+}
+
+std::uint32_t
+SectoredCache::sectorMaskFor(Addr addr, std::uint32_t bytes) const
+{
+    Addr block = blockAlign(addr);
+    std::uint32_t first = static_cast<std::uint32_t>(
+        (addr - block) / config.sectorBytes);
+    std::uint32_t last = static_cast<std::uint32_t>(
+        (addr - block + bytes - 1) / config.sectorBytes);
+    shm_assert(last < sectorsPerBlock,
+               "access at {} (+{}) crosses a block boundary", addr, bytes);
+    std::uint32_t mask = 0;
+    for (std::uint32_t s = first; s <= last; ++s)
+        mask |= (1u << s);
+    return mask;
+}
+
+SectoredCache::Line *
+SectoredCache::findLine(Addr block_addr)
+{
+    std::size_t set = setIndex(block_addr);
+    for (std::size_t w = 0; w < config.assoc; ++w) {
+        Line &line = lines[set * config.assoc + w];
+        if (line.valid && line.tag == block_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+const SectoredCache::Line *
+SectoredCache::findLine(Addr block_addr) const
+{
+    return const_cast<SectoredCache *>(this)->findLine(block_addr);
+}
+
+SectoredCache::Line &
+SectoredCache::victimLine(Addr block_addr, Writeback &wb)
+{
+    std::size_t set = setIndex(block_addr);
+    Line *victim = nullptr;
+
+    if (config.replacement == ReplacementPolicy::Random) {
+        // Deterministic xorshift pick among valid lines, but invalid
+        // lines still take priority.
+        for (std::size_t w = 0; w < config.assoc; ++w) {
+            Line &line = lines[set * config.assoc + w];
+            if (!line.valid) {
+                victim = &line;
+                break;
+            }
+        }
+        if (!victim) {
+            randomState ^= randomState << 13;
+            randomState ^= randomState >> 7;
+            randomState ^= randomState << 17;
+            victim = &lines[set * config.assoc +
+                            randomState % config.assoc];
+        }
+    } else {
+        // LRU and FIFO share the stamp comparison; they differ in
+        // whether access() refreshes the stamp (see below).
+        for (std::size_t w = 0; w < config.assoc; ++w) {
+            Line &line = lines[set * config.assoc + w];
+            if (!line.valid) {
+                victim = &line;
+                break;
+            }
+            // Prefer lines without an in-flight fill; among those,
+            // the oldest stamp.
+            if (!victim ||
+                (victim->pendingFill && !line.pendingFill) ||
+                (victim->pendingFill == line.pendingFill &&
+                 line.lruStamp < victim->lruStamp)) {
+                victim = &line;
+            }
+        }
+    }
+
+    if (victim->valid) {
+        if (victim->dirtyMask != 0) {
+            wb.valid = true;
+            wb.blockAddr = victim->tag;
+            wb.dirtyMask = victim->dirtyMask;
+            ++statWritebacks;
+        }
+        victim->valid = false;
+    }
+    victim->tag = block_addr;
+    victim->validMask = 0;
+    victim->dirtyMask = 0;
+    victim->pendingFill = false;
+    return *victim;
+}
+
+CacheAccessResult
+SectoredCache::access(Addr addr, std::uint32_t bytes, bool is_write)
+{
+    ++statAccesses;
+    Addr block = blockAlign(addr);
+    std::uint32_t want = sectorMaskFor(addr, bytes);
+
+    Line *line = findLine(block);
+    if (line && (line->validMask & want) == want) {
+        // Full sector hit. FIFO keeps the insertion-time stamp.
+        if (config.replacement == ReplacementPolicy::Lru)
+            line->lruStamp = ++lruClock;
+        if (is_write)
+            line->dirtyMask |= want;
+        ++statHits;
+        return {CacheOutcome::Hit, 0};
+    }
+
+    if (is_write && !config.fetchOnWriteMiss) {
+        // Write-validate: install the written sectors without a fetch.
+        if (!config.writeAllocate) {
+            // Write-no-allocate without fetch: pass through; the owner
+            // sends the write straight to DRAM.
+            ++statWriteNoFetch;
+            return {CacheOutcome::WriteNoFetch, 0};
+        }
+        if (!line) {
+            Writeback wb;
+            Line &fresh = victimLine(block, wb);
+            fresh.valid = true;
+            line = &fresh;
+            // The eviction write-back is surfaced via pendingWriteback
+            // below; write-validate can evict.
+            pendingInsertWb = wb;
+        }
+        line->validMask |= want;
+        line->dirtyMask |= want;
+        line->lruStamp = ++lruClock;
+        ++statWriteNoFetch;
+        return {CacheOutcome::WriteNoFetch, 0};
+    }
+
+    // Read miss (or RMW write miss): need sectors from DRAM.
+    std::uint32_t have = line ? line->validMask : 0;
+    std::uint32_t need = want & ~have;
+
+    auto it = mshrTable.find(block);
+    if (it != mshrTable.end()) {
+        if (it->second.merged >= config.mshrMergeMax) {
+            ++statNoMshr;
+            return {CacheOutcome::NoMshr, 0};
+        }
+        ++it->second.merged;
+        std::uint32_t newly = need & ~it->second.pendingMask;
+        it->second.pendingMask |= need;
+        ++statMerged;
+        if (is_write)
+            pendingWriteMask[block] |= want;
+        // Only sectors not already in flight go out to DRAM.
+        return {newly ? CacheOutcome::Miss : CacheOutcome::MshrMerged,
+                newly};
+    }
+
+    if (mshrTable.size() >= config.mshrs) {
+        ++statNoMshr;
+        return {CacheOutcome::NoMshr, 0};
+    }
+
+    mshrTable.emplace(block, MshrEntry{need, 1});
+    if (line)
+        line->pendingFill = true;
+    if (is_write)
+        pendingWriteMask[block] |= want;
+    ++statMisses;
+    return {CacheOutcome::Miss, need};
+}
+
+Writeback
+SectoredCache::fill(Addr block_addr, std::uint32_t sector_mask)
+{
+    ++statFills;
+    Addr block = blockAlign(block_addr);
+    Writeback wb;
+
+    Line *line = findLine(block);
+    if (!line) {
+        Line &fresh = victimLine(block, wb);
+        fresh.valid = true;
+        line = &fresh;
+    }
+    line->validMask |= sector_mask;
+    line->pendingFill = false;
+    line->lruStamp = ++lruClock;
+
+    auto wit = pendingWriteMask.find(block);
+    if (wit != pendingWriteMask.end()) {
+        line->validMask |= wit->second;
+        line->dirtyMask |= wit->second;
+        pendingWriteMask.erase(wit);
+    }
+
+    mshrTable.erase(block);
+    return wb;
+}
+
+bool
+SectoredCache::mshrAvailable(Addr addr) const
+{
+    Addr block = blockAlign(addr);
+    auto it = mshrTable.find(block);
+    if (it != mshrTable.end())
+        return it->second.merged < config.mshrMergeMax;
+    return mshrTable.size() < config.mshrs;
+}
+
+std::uint32_t
+SectoredCache::probe(Addr addr) const
+{
+    const Line *line = findLine(blockAlign(addr));
+    return line ? line->validMask : 0;
+}
+
+Writeback
+SectoredCache::insert(Addr block_addr, std::uint32_t valid_mask,
+                      std::uint32_t dirty_mask)
+{
+    Addr block = blockAlign(block_addr);
+    Writeback wb;
+    Line *line = findLine(block);
+    if (!line) {
+        Line &fresh = victimLine(block, wb);
+        fresh.valid = true;
+        line = &fresh;
+    }
+    line->validMask |= valid_mask;
+    line->dirtyMask |= dirty_mask;
+    line->lruStamp = ++lruClock;
+    return wb;
+}
+
+Writeback
+SectoredCache::invalidate(Addr block_addr)
+{
+    Writeback wb;
+    Line *line = findLine(blockAlign(block_addr));
+    if (line) {
+        if (line->dirtyMask) {
+            wb.valid = true;
+            wb.blockAddr = line->tag;
+            wb.dirtyMask = line->dirtyMask;
+        }
+        line->valid = false;
+        line->validMask = 0;
+        line->dirtyMask = 0;
+    }
+    return wb;
+}
+
+void
+SectoredCache::flushDirty(std::vector<Writeback> &out)
+{
+    for (auto &line : lines) {
+        if (line.valid && line.dirtyMask) {
+            out.push_back({true, line.tag, line.dirtyMask});
+            line.dirtyMask = 0;
+        }
+    }
+}
+
+Writeback
+SectoredCache::takeInsertWriteback()
+{
+    Writeback wb = pendingInsertWb;
+    pendingInsertWb = Writeback{};
+    return wb;
+}
+
+void
+SectoredCache::regStats(stats::StatGroup *parent)
+{
+    statGroup.attach(parent, config.name);
+    statGroup.addScalar("accesses", &statAccesses, "total accesses");
+    statGroup.addScalar("hits", &statHits, "full sector hits");
+    statGroup.addScalar("misses", &statMisses, "misses with new MSHR");
+    statGroup.addScalar("write_no_fetch", &statWriteNoFetch,
+                        "write-validate misses");
+    statGroup.addScalar("merged", &statMerged, "MSHR-merged misses");
+    statGroup.addScalar("no_mshr", &statNoMshr, "structural MSHR stalls");
+    statGroup.addScalar("writebacks", &statWritebacks,
+                        "dirty eviction write-backs");
+    statGroup.addScalar("fills", &statFills, "line fills");
+}
+
+} // namespace shmgpu::mem

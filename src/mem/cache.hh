@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Generic sectored, set-associative, write-back cache with MSHRs.
+ *
+ * Used for the GPU L2 data banks and for the per-partition security
+ * metadata caches (counter / MAC / BMT caches, Table VI of the paper).
+ * The cache is a state model: it decides hit/miss/merge outcomes and
+ * tracks line state, while the owning component provides timing and
+ * issues the actual DRAM fills.
+ */
+
+#ifndef SHMGPU_MEM_CACHE_HH
+#define SHMGPU_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace shmgpu::mem
+{
+
+/** Line replacement policy. */
+enum class ReplacementPolicy : std::uint8_t
+{
+    Lru,    //!< least recently used (default; what the paper assumes)
+    Fifo,   //!< insertion order
+    Random  //!< pseudo-random (deterministic xorshift)
+};
+
+/** Static configuration of a SectoredCache. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 2048;
+    std::uint32_t blockBytes = 128;
+    std::uint32_t sectorBytes = 32;
+    std::uint32_t assoc = 4;
+    std::uint32_t mshrs = 256;
+    std::uint32_t mshrMergeMax = 16;
+    /** Allocate a line on write miss (metadata caches use this). */
+    bool writeAllocate = true;
+    /**
+     * When false, a full-sector write miss validates the sector in
+     * place without fetching it from DRAM (GPU-style write-validate).
+     * When true, a write miss must first fetch the sector (read-modify-
+     * write semantics, used by nothing today but kept for generality).
+     */
+    bool fetchOnWriteMiss = false;
+    ReplacementPolicy replacement = ReplacementPolicy::Lru;
+};
+
+/** Outcome classification of a cache access. */
+enum class CacheOutcome : std::uint8_t
+{
+    Hit,        //!< all requested sectors present
+    Miss,       //!< fetch required; MSHR allocated
+    MshrMerged, //!< fetch already in flight; merged into existing MSHR
+    NoMshr,     //!< structural stall: no MSHR (or merge slots) available
+    WriteNoFetch //!< write miss satisfied by write-validate (no DRAM read)
+};
+
+/** Result of SectoredCache::access(). */
+struct CacheAccessResult
+{
+    CacheOutcome outcome = CacheOutcome::Hit;
+    /** Sector mask (within the block) that must be fetched from DRAM.
+     *  Nonzero only for outcome == Miss. */
+    std::uint32_t fetchMask = 0;
+};
+
+/** A dirty-line write-back produced by a fill-time eviction. */
+struct Writeback
+{
+    bool valid = false;
+    Addr blockAddr = 0;
+    std::uint32_t dirtyMask = 0;
+};
+
+/**
+ * Sectored set-associative cache with LRU replacement and MSHR-based
+ * miss tracking. Addresses are raw byte addresses; the cache never
+ * interprets them beyond index/tag extraction, so physical and
+ * partition-local address spaces both work.
+ */
+class SectoredCache
+{
+  public:
+    explicit SectoredCache(const CacheParams &params);
+
+    /**
+     * Access @p bytes starting at @p addr (must not cross a block
+     * boundary; the caller splits larger accesses).
+     */
+    CacheAccessResult access(Addr addr, std::uint32_t bytes, bool is_write);
+
+    /**
+     * Install fetched sectors for the block containing @p block_addr,
+     * choosing and evicting a victim if the line is not yet present.
+     * Frees the block's MSHR. Returns the eviction write-back, if any.
+     */
+    Writeback fill(Addr block_addr, std::uint32_t sector_mask);
+
+    /** True if an access to @p addr could obtain an MSHR right now. */
+    bool mshrAvailable(Addr addr) const;
+
+    /** Presence probe without LRU update. Returns valid-sector mask. */
+    std::uint32_t probe(Addr addr) const;
+
+    /**
+     * Insert a block directly (victim-cache insertion path). May evict;
+     * returns the write-back, if any. The block is inserted with all
+     * sectors in @p valid_mask valid and @p dirty_mask dirty.
+     */
+    Writeback insert(Addr block_addr, std::uint32_t valid_mask,
+                     std::uint32_t dirty_mask);
+
+    /** Drop the block if present; returns its dirty write-back. */
+    Writeback invalidate(Addr block_addr);
+
+    /**
+     * A write-validate access (outcome WriteNoFetch) can evict a dirty
+     * victim; the owner must collect that write-back with this call
+     * immediately after access().
+     */
+    Writeback takeInsertWriteback();
+
+    /** Flush every dirty line (appends write-backs); leaves lines clean. */
+    void flushDirty(std::vector<Writeback> &out);
+
+    /** Number of outstanding (allocated) MSHRs. */
+    std::size_t mshrsInUse() const { return mshrTable.size(); }
+
+    const CacheParams &params() const { return config; }
+
+    /** Register this cache's statistics under @p parent. */
+    void regStats(stats::StatGroup *parent);
+
+    /** @{ Raw statistic accessors for harness code. */
+    double hits() const { return statHits.value(); }
+    double misses() const { return statMisses.value(); }
+    double accesses() const { return statAccesses.value(); }
+    /** @} */
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint32_t validMask = 0;
+        std::uint32_t dirtyMask = 0;
+        std::uint64_t lruStamp = 0;  //!< recency (LRU) or insertion
+                                     //!< order (FIFO)
+        bool pendingFill = false; //!< reserved by an in-flight MSHR
+    };
+
+    struct MshrEntry
+    {
+        std::uint32_t pendingMask = 0; //!< sectors being fetched
+        std::uint32_t merged = 0;      //!< merged request count
+    };
+
+    Addr blockAlign(Addr addr) const { return addr / config.blockBytes *
+                                              config.blockBytes; }
+    std::size_t setIndex(Addr block_addr) const;
+    std::uint32_t sectorMaskFor(Addr addr, std::uint32_t bytes) const;
+    Line *findLine(Addr block_addr);
+    const Line *findLine(Addr block_addr) const;
+    Line &victimLine(Addr block_addr, Writeback &wb);
+
+    CacheParams config;
+    std::size_t numSets;
+    std::uint32_t sectorsPerBlock;
+    std::vector<Line> lines; //!< numSets x assoc, row-major
+    std::unordered_map<Addr, MshrEntry> mshrTable;
+    /** Sectors written while their block's fill is still in flight. */
+    std::unordered_map<Addr, std::uint32_t> pendingWriteMask;
+    Writeback pendingInsertWb;
+    std::uint64_t lruClock = 0;
+    std::uint64_t randomState = 0x9E3779B97F4A7C15ull;
+
+    stats::StatGroup statGroup;
+    stats::Scalar statAccesses;
+    stats::Scalar statHits;
+    stats::Scalar statMisses;
+    stats::Scalar statWriteNoFetch;
+    stats::Scalar statMerged;
+    stats::Scalar statNoMshr;
+    stats::Scalar statWritebacks;
+    stats::Scalar statFills;
+};
+
+} // namespace shmgpu::mem
+
+#endif // SHMGPU_MEM_CACHE_HH

@@ -1,0 +1,19 @@
+#include "mem/request.hh"
+
+namespace shmgpu::mem
+{
+
+const char *
+trafficClassName(TrafficClass c)
+{
+    switch (c) {
+      case TrafficClass::Data: return "data";
+      case TrafficClass::Counter: return "counter";
+      case TrafficClass::Mac: return "mac";
+      case TrafficClass::Bmt: return "bmt";
+      case TrafficClass::Extra: return "extra";
+      default: return "unknown";
+    }
+}
+
+} // namespace shmgpu::mem

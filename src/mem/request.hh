@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Memory request types shared between the GPU model and the MEE.
+ */
+
+#ifndef SHMGPU_MEM_REQUEST_HH
+#define SHMGPU_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace shmgpu::mem
+{
+
+/** Direction of a memory access. */
+enum class AccessType : std::uint8_t { Read, Write };
+
+/**
+ * Traffic classes for DRAM accounting. The paper's Fig. 14 separates
+ * regular data from each security-metadata stream plus the extra data
+ * refetches caused by detector mispredictions.
+ */
+enum class TrafficClass : std::uint8_t
+{
+    Data,       //!< regular data blocks
+    Counter,    //!< encryption-counter blocks
+    Mac,        //!< block-/chunk-level MAC blocks
+    Bmt,        //!< Bonsai-Merkle-Tree nodes
+    Extra,      //!< misprediction-induced refetches
+    NumClasses
+};
+
+/** Human-readable name of a traffic class. */
+const char *trafficClassName(TrafficClass c);
+
+/**
+ * A memory request as seen below the L2: an L2 miss (read) or an L2
+ * write-back, addressed by physical address before partition mapping.
+ */
+struct MemRequest
+{
+    Addr addr = 0;              //!< physical byte address (block-aligned)
+    std::uint32_t bytes = 0;    //!< transfer size
+    AccessType type = AccessType::Read;
+    MemSpace space = MemSpace::Global;
+    SmId requester = 0;         //!< originating SM (for reply routing)
+    Cycle issued = 0;           //!< cycle the request entered the system
+};
+
+} // namespace shmgpu::mem
+
+#endif // SHMGPU_MEM_REQUEST_HH

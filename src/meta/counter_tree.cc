@@ -1,0 +1,170 @@
+#include "meta/counter_tree.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace shmgpu::meta
+{
+
+SgxCounterTree::SgxCounterTree(std::uint64_t num_leaves, unsigned arity,
+                               const crypto::SipKey &tree_key)
+    : leaves(num_leaves), fanout(arity), key(tree_key)
+{
+    shm_assert(leaves > 0, "counter tree needs at least one leaf");
+    shm_assert(fanout >= 2, "counter-tree arity must be >= 2");
+
+    std::uint64_t n = divCeil(leaves, fanout);
+    while (true) {
+        levelNodes.push_back(n);
+        nodes.emplace_back();
+        if (n == 1)
+            break;
+        n = divCeil(n, fanout);
+    }
+    rootVersions.assign(levelNodes.back(), 0);
+}
+
+const SgxCounterTree::Node *
+SgxCounterTree::find(unsigned level, std::uint64_t node) const
+{
+    auto it = nodes.at(level).find(node);
+    return it == nodes.at(level).end() ? nullptr : &it->second;
+}
+
+SgxCounterTree::Node &
+SgxCounterTree::materialize(unsigned level, std::uint64_t node)
+{
+    Node &n = nodes.at(level)[node];
+    if (n.versions.empty()) {
+        n.versions.assign(fanout, 0);
+        // Fresh nodes carry a valid MAC over the all-zero versions.
+        n.mac = macOf(n, level, node, parentVersionOf(level, node));
+    }
+    return n;
+}
+
+std::uint64_t
+SgxCounterTree::parentVersionOf(unsigned level, std::uint64_t node) const
+{
+    if (level + 1 >= levels())
+        return rootVersions.at(node);
+    const Node *parent = find(level + 1, node / fanout);
+    return parent ? parent->versions[node % fanout] : 0;
+}
+
+std::uint64_t
+SgxCounterTree::macOf(const Node &node, unsigned level,
+                      std::uint64_t idx,
+                      std::uint64_t parent_version) const
+{
+    crypto::SipHasher h(key);
+    for (std::uint64_t v : node.versions)
+        h.updateU64(v);
+    h.updateU64(level);
+    h.updateU64(idx);
+    h.updateU64(parent_version);
+    return h.digest();
+}
+
+void
+SgxCounterTree::update(std::uint64_t leaf)
+{
+    shm_assert(leaf < leaves, "leaf {} out of range", leaf);
+
+    // Bump the child's version in every ancestor, bottom-up. Each
+    // node's version lives in its parent, so bumping level L's slot
+    // invalidates level L's MAC, which is rebound after the parent
+    // version above it moved too — hence the single upward pass that
+    // bumps every slot first, then refreshes MACs top-down.
+    std::uint64_t child = leaf;
+    for (unsigned level = 0; level < levels(); ++level) {
+        Node &n = materialize(level, child / fanout);
+        ++n.versions[child % fanout];
+        child /= fanout;
+    }
+    ++rootVersions.at(child);
+
+    // Re-MAC the path now that every parent version is final.
+    child = leaf;
+    for (unsigned level = 0; level < levels(); ++level) {
+        std::uint64_t idx = child / fanout;
+        Node &n = materialize(level, idx);
+        n.mac = macOf(n, level, idx, parentVersionOf(level, idx));
+        child = idx;
+    }
+}
+
+CounterTreeVerifyResult
+SgxCounterTree::verify(std::uint64_t leaf) const
+{
+    shm_assert(leaf < leaves, "leaf {} out of range", leaf);
+
+    std::uint64_t child = leaf;
+    for (unsigned level = 0; level < levels(); ++level) {
+        std::uint64_t idx = child / fanout;
+        const Node *n = find(level, idx);
+        if (n) {
+            if (macOf(*n, level, idx, parentVersionOf(level, idx)) !=
+                n->mac) {
+                return {false, level};
+            }
+        }
+        // Unmaterialized nodes are all-zero with implicit valid MACs.
+        child = idx;
+    }
+    return {true, 0};
+}
+
+std::uint64_t
+SgxCounterTree::leafVersion(std::uint64_t leaf) const
+{
+    shm_assert(leaf < leaves, "leaf {} out of range", leaf);
+    const Node *n = find(0, leaf / fanout);
+    return n ? n->versions[leaf % fanout] : 0;
+}
+
+void
+SgxCounterTree::corruptNodeMac(unsigned level, std::uint64_t node,
+                               std::uint64_t xor_mask)
+{
+    materialize(level, node).mac ^= xor_mask;
+}
+
+void
+SgxCounterTree::tamperVersion(unsigned level, std::uint64_t node,
+                              unsigned slot, std::uint64_t value)
+{
+    Node &n = materialize(level, node);
+    shm_assert(slot < n.versions.size(), "slot {} out of range", slot);
+    n.versions[slot] = value;
+}
+
+SgxCounterTree::NodeSnapshot
+SgxCounterTree::snapshotNode(unsigned level, std::uint64_t node) const
+{
+    NodeSnapshot snap;
+    snap.level = level;
+    snap.node = node;
+    if (const Node *n = find(level, node)) {
+        snap.versions = n->versions;
+        snap.mac = n->mac;
+    } else {
+        snap.versions.assign(fanout, 0);
+        // An untouched node's implicit MAC.
+        Node zero;
+        zero.versions = snap.versions;
+        snap.mac = macOf(zero, level, node,
+                         parentVersionOf(level, node));
+    }
+    return snap;
+}
+
+void
+SgxCounterTree::restoreNode(const NodeSnapshot &snapshot)
+{
+    Node &n = materialize(snapshot.level, snapshot.node);
+    n.versions = snapshot.versions;
+    n.mac = snapshot.mac;
+}
+
+} // namespace shmgpu::meta

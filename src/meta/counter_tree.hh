@@ -1,0 +1,115 @@
+/**
+ * @file
+ * SGX-style counter tree (Intel MEE; Gueron 2016) — the alternative
+ * integrity-tree design of the paper's Fig. 2.
+ *
+ * Where the Bonsai Merkle Tree stores child *hashes* in parent nodes,
+ * a counter tree stores child *version counters*: each node holds the
+ * versions of its children plus an embedded MAC computed over those
+ * versions and keyed to the node's own version (which lives in its
+ * parent). A write bumps the leaf version and therefore every
+ * ancestor version up to the on-chip root versions; replaying any
+ * node is caught because its embedded MAC was bound to a parent
+ * version that has since moved on.
+ *
+ * Functional model only — the timing path uses the same geometry as
+ * the BMT (a path of node accesses), which the layout already
+ * provides; this class exists so the repository demonstrates the
+ * paper's claim that SHM is independent of the integrity-tree
+ * implementation with two real implementations.
+ */
+
+#ifndef SHMGPU_META_COUNTER_TREE_HH
+#define SHMGPU_META_COUNTER_TREE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/siphash.hh"
+
+namespace shmgpu::meta
+{
+
+/** Result of a counter-tree verification. */
+struct CounterTreeVerifyResult
+{
+    bool ok = true;
+    /** Level of the first failing node (0 = leaf's parent); only
+     *  meaningful when !ok. */
+    unsigned failedLevel = 0;
+};
+
+/** Functional SGX-style counter tree over @p num_leaves versions. */
+class SgxCounterTree
+{
+  public:
+    SgxCounterTree(std::uint64_t num_leaves, unsigned arity,
+                   const crypto::SipKey &key);
+
+    /** A write to leaf @p leaf: bump versions up to the root. */
+    void update(std::uint64_t leaf);
+
+    /** Verify leaf @p leaf's version chain against the root. */
+    CounterTreeVerifyResult verify(std::uint64_t leaf) const;
+
+    /** Current version of @p leaf (the per-counter-block version a
+     *  secure-memory engine would fold into its seeds). */
+    std::uint64_t leafVersion(std::uint64_t leaf) const;
+
+    /** @{ Attack surface for tests (off-chip state only). */
+    /** Flip bits in a stored node MAC. */
+    void corruptNodeMac(unsigned level, std::uint64_t node,
+                        std::uint64_t xor_mask);
+    /** Overwrite a stored child-version slot (splice/tamper). */
+    void tamperVersion(unsigned level, std::uint64_t node,
+                       unsigned slot, std::uint64_t value);
+    /** Snapshot/restore a whole node (replay). */
+    struct NodeSnapshot
+    {
+        unsigned level = 0;
+        std::uint64_t node = 0;
+        std::vector<std::uint64_t> versions;
+        std::uint64_t mac = 0;
+    };
+    NodeSnapshot snapshotNode(unsigned level, std::uint64_t node) const;
+    void restoreNode(const NodeSnapshot &snapshot);
+    /** @} */
+
+    unsigned levels() const { return static_cast<unsigned>(
+        levelNodes.size()); }
+    std::uint64_t nodesAt(unsigned level) const
+    {
+        return levelNodes.at(level);
+    }
+
+  private:
+    struct Node
+    {
+        std::vector<std::uint64_t> versions; //!< one per child
+        std::uint64_t mac = 0;
+    };
+
+    const Node *find(unsigned level, std::uint64_t node) const;
+    Node &materialize(unsigned level, std::uint64_t node);
+    /** The version of node (level, idx) as stored in its parent (or
+     *  the on-chip root array for the top level). */
+    std::uint64_t parentVersionOf(unsigned level,
+                                  std::uint64_t node) const;
+    std::uint64_t macOf(const Node &node, unsigned level,
+                        std::uint64_t idx,
+                        std::uint64_t parent_version) const;
+
+    std::uint64_t leaves;
+    unsigned fanout;
+    crypto::SipKey key;
+    /** Stored (off-chip) levels: 0 = parents of leaves, upward. */
+    std::vector<std::unordered_map<std::uint64_t, Node>> nodes;
+    std::vector<std::uint64_t> levelNodes;
+    /** On-chip root: versions of the top stored level's nodes. */
+    std::vector<std::uint64_t> rootVersions;
+};
+
+} // namespace shmgpu::meta
+
+#endif // SHMGPU_META_COUNTER_TREE_HH

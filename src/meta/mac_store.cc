@@ -1,0 +1,60 @@
+#include "meta/mac_store.hh"
+
+#include "common/logging.hh"
+
+namespace shmgpu::meta
+{
+
+MacStore::MacStore(const MetadataLayout &meta_layout) : layout(meta_layout)
+{
+}
+
+void
+MacStore::setBlockMac(LocalAddr data_addr, crypto::Mac mac)
+{
+    blockMacs[layout.blockIndex(data_addr)] = mac;
+}
+
+std::optional<crypto::Mac>
+MacStore::blockMac(LocalAddr data_addr) const
+{
+    auto it = blockMacs.find(layout.blockIndex(data_addr));
+    if (it == blockMacs.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+MacStore::setChunkMac(LocalAddr data_addr, crypto::Mac mac)
+{
+    chunkMacs[layout.chunkIndex(data_addr)] = mac;
+}
+
+std::optional<crypto::Mac>
+MacStore::chunkMac(LocalAddr data_addr) const
+{
+    auto it = chunkMacs.find(layout.chunkIndex(data_addr));
+    if (it == chunkMacs.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+MacStore::corruptBlockMac(LocalAddr data_addr, std::uint64_t xor_mask)
+{
+    auto it = blockMacs.find(layout.blockIndex(data_addr));
+    shm_assert(it != blockMacs.end(),
+               "corrupting a MAC that was never stored");
+    it->second ^= xor_mask;
+}
+
+void
+MacStore::corruptChunkMac(LocalAddr data_addr, std::uint64_t xor_mask)
+{
+    auto it = chunkMacs.find(layout.chunkIndex(data_addr));
+    shm_assert(it != chunkMacs.end(),
+               "corrupting a MAC that was never stored");
+    it->second ^= xor_mask;
+}
+
+} // namespace shmgpu::meta

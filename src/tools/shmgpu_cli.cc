@@ -1,0 +1,261 @@
+/**
+ * @file
+ * The shmgpu command-line driver.
+ *
+ *   shmgpu list
+ *       Print the available workloads and secure-memory schemes.
+ *
+ *   shmgpu run --workload NAME [--scheme NAME] [--cycles N]
+ *              [--stats FILE] [--json FILE] [--accuracy]
+ *       Simulate one (scheme, workload) pair and print the paper-style
+ *       summary; optionally dump the full statistics tree.
+ *
+ *   shmgpu trace record --workload NAME --out FILE [--sms N]
+ *       Record the workload's per-SM access trace to a file.
+ *
+ *   shmgpu trace run --in FILE [--scheme NAME] [--cycles N]
+ *       Replay a recorded trace through the full simulator.
+ *
+ *   shmgpu trace info --in FILE
+ *       Print a trace file's header and per-kernel op counts.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "common/logging.hh"
+#include "core/experiment.hh"
+#include "core/overrides.hh"
+#include "gpu/presets.hh"
+#include "gpu/simulator.hh"
+#include "workload/parser.hh"
+#include "workload/trace_file.hh"
+
+using namespace shmgpu;
+
+namespace
+{
+
+/** Minimal --flag=value / --flag value parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int start)
+    {
+        for (int i = start; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) != 0)
+                shm_fatal("unexpected argument '{}'", arg);
+            auto eq = arg.find('=');
+            if (eq != std::string::npos) {
+                values[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+            } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+                values[arg.substr(2)] = argv[++i];
+            } else {
+                values[arg.substr(2)] = "1";
+            }
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = values.find(key);
+        return it == values.end() ? fallback : it->second;
+    }
+
+    bool has(const std::string &key) const { return values.contains(key); }
+
+  private:
+    std::map<std::string, std::string> values;
+};
+
+int
+usage()
+{
+    std::puts("usage: shmgpu <list|run|trace> [flags]\n"
+              "  shmgpu list\n"
+              "  shmgpu run (--workload NAME | --spec FILE) [--scheme SHM]"
+              " [--gpu turing|big|test] [--cycles N] [--overrides CFG]"
+              " [--stats FILE] [--json FILE] [--accuracy]\n"
+              "  shmgpu trace record --workload NAME --out FILE"
+              " [--sms N]\n"
+              "  shmgpu trace run --in FILE [--scheme SHM] [--cycles N]\n"
+              "  shmgpu trace info --in FILE");
+    return 2;
+}
+
+void
+printSummary(const core::ExperimentResult &r)
+{
+    std::printf("%-16s %-16s normIPC=%.3f overhead=%.2f%% "
+                "mdOverhead=%.2f%% energy=%.3fx\n",
+                r.workload.c_str(), r.scheme.c_str(), r.normalizedIpc,
+                100 * r.overhead(),
+                100 * r.metrics.metadataOverhead(),
+                r.normalizedEnergyPerInstr);
+}
+
+int
+cmdList()
+{
+    std::puts("workloads (Table VII):");
+    for (const auto &w : workload::allWorkloads())
+        std::printf("  %-14s %-10s util %2.0f-%2.0f%%  spaces: %s\n",
+                    w.name.c_str(), w.suite.c_str(), 100 * w.bwUtilLo,
+                    100 * w.bwUtilHi, w.specialSpaces.c_str());
+    std::puts("\nschemes (Table VIII):");
+    std::printf("  %s\n", schemes::schemeName(schemes::Scheme::Baseline));
+    for (auto s : schemes::allSchemes())
+        std::printf("  %s\n", schemes::schemeName(s));
+    return 0;
+}
+
+gpu::GpuParams
+gpuParamsFrom(const Args &args)
+{
+    gpu::GpuParams gp = gpu::presetByName(args.get("gpu", "turing"));
+    std::string overrides = args.get("overrides");
+    if (!overrides.empty()) {
+        mee::MeeParams scratch; // GPU keys only in this path
+        Config config = Config::fromFile(overrides);
+        core::applyGpuOverrides(config, gp);
+        core::applyMeeOverrides(config, scratch);
+        config.assertConsumed();
+    }
+    std::string cycles = args.get("cycles");
+    if (!cycles.empty())
+        gp.maxCyclesPerKernel = std::stoull(cycles);
+    return gp;
+}
+
+int
+cmdRun(const Args &args)
+{
+    std::string workload_name = args.get("workload");
+    std::string spec_file = args.get("spec");
+    if (workload_name.empty() && spec_file.empty())
+        shm_fatal("run needs --workload or --spec (see 'shmgpu list')");
+    workload::WorkloadSpec parsed;
+    if (!spec_file.empty())
+        parsed = workload::parseWorkloadFile(spec_file);
+    const auto &w = spec_file.empty()
+                        ? workload::findWorkload(workload_name)
+                        : parsed;
+    auto scheme = schemes::schemeFromName(args.get("scheme", "SHM"));
+
+    core::Experiment exp(gpuParamsFrom(args));
+    core::RunOptions opts;
+    opts.collectAccuracy = args.has("accuracy");
+    auto r = exp.run(scheme, w, opts);
+    printSummary(r);
+
+    if (opts.collectAccuracy) {
+        double ro_total = r.metrics.roCorrect + r.metrics.roMpInit +
+                          r.metrics.roMpAliasing;
+        double str_total = r.metrics.strCorrect + r.metrics.strMpInit +
+                           r.metrics.strMpAliasing +
+                           r.metrics.strMpRuntimeRo +
+                           r.metrics.strMpRuntimeNonRo;
+        if (ro_total > 0)
+            std::printf("read-only prediction accuracy : %.2f%%\n",
+                        100 * r.metrics.roCorrect / ro_total);
+        if (str_total > 0)
+            std::printf("streaming prediction accuracy : %.2f%%\n",
+                        100 * r.metrics.strCorrect / str_total);
+    }
+
+    // Stats dumps run the simulation once more with a retained tree.
+    if (args.has("stats") || args.has("json")) {
+        gpu::GpuSimulator sim(gpuParamsFrom(args),
+                              schemes::makeMeeParams(scheme), w);
+        sim.run();
+        if (args.has("stats")) {
+            std::ofstream out(args.get("stats"));
+            sim.statsRoot().dump(out);
+            std::printf("stats written to %s\n",
+                        args.get("stats").c_str());
+        }
+        if (args.has("json")) {
+            std::ofstream out(args.get("json"));
+            sim.statsRoot().dumpJson(out);
+            out << "\n";
+            std::printf("json stats written to %s\n",
+                        args.get("json").c_str());
+        }
+    }
+    return 0;
+}
+
+int
+cmdTrace(const Args &args, const std::string &sub)
+{
+    if (sub == "record") {
+        std::string workload_name = args.get("workload");
+        std::string out = args.get("out");
+        if (workload_name.empty() || out.empty())
+            shm_fatal("trace record needs --workload and --out");
+        const auto &w = workload::findWorkload(workload_name);
+        std::uint32_t sms = static_cast<std::uint32_t>(
+            std::stoul(args.get("sms", "30")));
+        workload::Trace trace = workload::generateTrace(w, sms);
+        workload::writeTrace(trace, out);
+        std::printf("recorded %llu ops over %zu kernels (%u SMs) "
+                    "to %s\n",
+                    static_cast<unsigned long long>(trace.totalOps()),
+                    trace.kernels.size(), trace.numSms, out.c_str());
+        return 0;
+    }
+    if (sub == "info") {
+        workload::Trace trace = workload::readTrace(args.get("in"));
+        std::printf("SMs: %u, kernels: %zu, total ops: %llu\n",
+                    trace.numSms, trace.kernels.size(),
+                    static_cast<unsigned long long>(trace.totalOps()));
+        for (std::size_t k = 0; k < trace.kernels.size(); ++k)
+            std::printf("  kernel %zu: %zu ops, %zu host copies\n", k,
+                        trace.kernels[k].records.size(),
+                        trace.kernels[k].copies.size());
+        return 0;
+    }
+    if (sub == "run") {
+        workload::Trace trace = workload::readTrace(args.get("in"));
+        auto scheme = schemes::schemeFromName(args.get("scheme", "SHM"));
+        gpu::GpuParams gp = gpuParamsFrom(args);
+        gp.numSms = trace.numSms;
+
+        gpu::GpuSimulator sim(gp, schemes::makeMeeParams(scheme), trace);
+        gpu::RunMetrics m = sim.run();
+        std::printf("trace replay under %s: cycles=%llu ipc=%.2f "
+                    "util=%.1f%% mdOverhead=%.2f%%\n",
+                    schemes::schemeName(scheme),
+                    static_cast<unsigned long long>(m.cycles), m.ipc,
+                    100 * m.bandwidthUtilization,
+                    100 * m.metadataOverhead());
+        return 0;
+    }
+    return usage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "run")
+        return cmdRun(Args(argc, argv, 2));
+    if (cmd == "trace") {
+        if (argc < 3)
+            return usage();
+        return cmdTrace(Args(argc, argv, 3), argv[2]);
+    }
+    return usage();
+}

@@ -1,0 +1,85 @@
+#include "workload/spec.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace shmgpu::workload
+{
+
+void
+validateSpec(const WorkloadSpec &spec)
+{
+    if (spec.name.empty())
+        shm_fatal("workload has no name");
+    if (spec.buffers.empty())
+        shm_fatal("workload '{}' declares no buffers", spec.name);
+    if (spec.kernels.empty())
+        shm_fatal("workload '{}' declares no kernels", spec.name);
+
+    for (const auto &buf : spec.buffers) {
+        if (buf.bytes < 32)
+            shm_fatal("buffer '{}' in '{}' is smaller than a sector",
+                      buf.name, spec.name);
+    }
+
+    for (const auto &k : spec.kernels) {
+        if (k.streams.empty())
+            shm_fatal("kernel '{}' in '{}' has no streams", k.name,
+                      spec.name);
+        for (const auto &st : k.streams) {
+            if (st.buffer >= spec.buffers.size())
+                shm_fatal("kernel '{}' in '{}' references buffer {} "
+                          "(only {} declared)",
+                          k.name, spec.name, st.buffer,
+                          spec.buffers.size());
+            if (st.prob <= 0.0 || st.prob > 1.0)
+                shm_fatal("kernel '{}' in '{}': stream probability {} "
+                          "outside (0, 1]",
+                          k.name, spec.name, st.prob);
+            if (st.pattern == Pattern::RandomHot &&
+                (st.hotFraction <= 0.0 || st.hotFraction > 1.0 ||
+                 st.hotProb < 0.0 || st.hotProb > 1.0)) {
+                shm_fatal("kernel '{}' in '{}': invalid hot-set "
+                          "parameters",
+                          k.name, spec.name);
+            }
+            if (st.pattern == Pattern::Strided && st.strideSectors == 0)
+                shm_fatal("kernel '{}' in '{}': zero stride", k.name,
+                          spec.name);
+        }
+        for (const auto &copy : k.preCopies) {
+            if (copy.buffer >= spec.buffers.size())
+                shm_fatal("kernel '{}' in '{}': host copy references "
+                          "buffer {}",
+                          k.name, spec.name, copy.buffer);
+        }
+    }
+}
+
+std::vector<Addr>
+layoutBuffers(const WorkloadSpec &spec, Addr base, Addr alignment)
+{
+    shm_assert(isPowerOf2(alignment), "alignment must be pow2");
+    std::vector<Addr> offsets;
+    offsets.reserve(spec.buffers.size());
+    Addr cursor = base;
+    for (const auto &buf : spec.buffers) {
+        shm_assert(buf.bytes > 0, "buffer '{}' in '{}' is empty",
+                   buf.name, spec.name);
+        cursor = alignUp(cursor, alignment);
+        offsets.push_back(cursor);
+        cursor += buf.bytes;
+    }
+    return offsets;
+}
+
+Addr
+footprintBytes(const WorkloadSpec &spec)
+{
+    std::vector<Addr> offsets = layoutBuffers(spec);
+    if (offsets.empty())
+        return 0;
+    return offsets.back() + spec.buffers.back().bytes;
+}
+
+} // namespace shmgpu::workload

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Workload model descriptors.
+ *
+ * The paper evaluates 16 Rodinia/Parboil/Polybench workloads on
+ * GPGPU-Sim. We reproduce their *memory behaviour* with parameterised
+ * synthetic models: each workload declares device buffers (size +
+ * memory space), host-to-device copies (which seed the read-only
+ * detector), and kernels composed of access streams with streaming /
+ * random / hot-set patterns plus a compute-to-memory ratio. See
+ * DESIGN.md for the substitution rationale.
+ */
+
+#ifndef SHMGPU_WORKLOAD_SPEC_HH
+#define SHMGPU_WORKLOAD_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace shmgpu::workload
+{
+
+/** How a stream walks its buffer. */
+enum class Pattern : std::uint8_t
+{
+    Streaming,  //!< sequential sectors; every block of a chunk touched
+    Random,     //!< uniform random sectors over the whole buffer
+    RandomHot,  //!< random, biased into a small hot subset (locality)
+    Strided     //!< fixed-stride walk (column-major / interleaved
+                //!< structure-of-arrays access; partial chunk coverage)
+};
+
+/** A device memory buffer. */
+struct BufferSpec
+{
+    std::string name;
+    std::uint64_t bytes = 0;
+    MemSpace space = MemSpace::Global;
+};
+
+/** A host-to-device copy executed before a kernel launch. */
+struct HostCopySpec
+{
+    std::uint32_t buffer = 0; //!< index into WorkloadSpec::buffers
+    /**
+     * True when the runtime marks the copied region read-only in the
+     * command processor (the default for cudaMemcpy H2D at context
+     * init, Section IV-B).
+     */
+    bool marksReadOnly = true;
+    /**
+     * Explicit programming-model declaration (OpenCL
+     * CL_MEM_READ_ONLY): the region may be pinned read-only when the
+     * scheme honours hints.
+     */
+    bool declaredReadOnly = false;
+};
+
+/** One access stream within a kernel. */
+struct StreamSpec
+{
+    std::uint32_t buffer = 0;   //!< index into WorkloadSpec::buffers
+    Pattern pattern = Pattern::Streaming;
+    bool write = false;
+    /** Probability an iteration issues this stream's access. */
+    double prob = 1.0;
+    /** For RandomHot: fraction of the buffer forming the hot set. */
+    double hotFraction = 0.05;
+    /** For RandomHot: probability an access hits the hot set. */
+    double hotProb = 0.8;
+    /** For Strided: sectors skipped between consecutive accesses. */
+    std::uint64_t strideSectors = 16;
+};
+
+/** One kernel launch. */
+struct KernelSpec
+{
+    std::string name;
+    /** Iterations executed per SM (each iteration runs every stream). */
+    std::uint64_t iterationsPerSm = 4096;
+    /** Compute instructions preceding each memory instruction. */
+    std::uint32_t computePerMem = 4;
+    std::vector<StreamSpec> streams;
+    /** Copies performed right before this kernel launches. */
+    std::vector<HostCopySpec> preCopies;
+    /**
+     * Occupancy model: cap on outstanding loads per SM for this
+     * kernel (0 = the GPU default). Low-occupancy kernels (small
+     * grids, heavy register use) tolerate less memory latency, which
+     * is what makes counter-fetch latency hurt them.
+     */
+    std::uint32_t maxOutstanding = 0;
+};
+
+/** A whole workload (application). */
+struct WorkloadSpec
+{
+    std::string name;
+    std::string suite;          //!< rodinia / parboil / polybench
+    std::vector<BufferSpec> buffers;
+    std::vector<KernelSpec> kernels;
+    /** Table VII reference bandwidth-utilization band [lo, hi]. */
+    double bwUtilLo = 0.0;
+    double bwUtilHi = 1.0;
+    /** Table VII "Memory Space" column (documentation only). */
+    std::string specialSpaces;
+    std::uint64_t seed = 1;     //!< RNG seed for random streams
+};
+
+/**
+ * Validate a workload's internal consistency (buffer references,
+ * probabilities, sizes); fatal with a precise message on the first
+ * violation. The simulator runs it before constructing traces.
+ */
+void validateSpec(const WorkloadSpec &spec);
+
+/** Byte offset of each buffer in the flat device address space. */
+std::vector<Addr> layoutBuffers(const WorkloadSpec &spec,
+                                Addr base = 0,
+                                Addr alignment = 64 * 1024);
+
+/** Total device footprint of a workload (end of last buffer). */
+Addr footprintBytes(const WorkloadSpec &spec);
+
+} // namespace shmgpu::workload
+
+#endif // SHMGPU_WORKLOAD_SPEC_HH

@@ -1,0 +1,117 @@
+#include "workload/trace.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace shmgpu::workload
+{
+
+KernelTrace::KernelTrace(const WorkloadSpec &workload_spec,
+                         const std::vector<Addr> &buffer_bases,
+                         std::uint32_t kernel_idx, std::uint32_t num_sms)
+    : spec(workload_spec), kernelSpec(spec.kernels.at(kernel_idx)),
+      bases(buffer_bases), numSms(num_sms), liveSms(num_sms)
+{
+    shm_assert(numSms > 0, "need at least one SM");
+    shm_assert(!kernelSpec.streams.empty(),
+               "kernel '{}' has no streams", kernelSpec.name);
+    smStates.resize(numSms);
+    streamTickets.assign(kernelSpec.streams.size(), 0);
+    for (std::uint32_t sm = 0; sm < numSms; ++sm) {
+        SmState &st = smStates[sm];
+        st.rng = Rng(spec.seed * 0x1000193u + kernel_idx * 131u + sm);
+        st.finished = kernelSpec.iterationsPerSm == 0;
+    }
+    if (kernelSpec.iterationsPerSm == 0)
+        liveSms = 0;
+}
+
+Addr
+KernelTrace::streamAddr(SmId sm, std::uint32_t stream_idx)
+{
+    const StreamSpec &stream = kernelSpec.streams[stream_idx];
+    const BufferSpec &buffer = spec.buffers.at(stream.buffer);
+    SmState &st = smStates[sm];
+
+    std::uint64_t sectors = buffer.bytes / sectorBytes;
+    shm_assert(sectors > 0, "buffer '{}' smaller than a sector",
+               buffer.name);
+
+    std::uint64_t sector = 0;
+    switch (stream.pattern) {
+      case Pattern::Streaming:
+        // Global ticket: the machine-wide front sweeps the buffer
+        // densely and in order (see streamTickets).
+        sector = streamTickets[stream_idx]++ % sectors;
+        break;
+      case Pattern::Random:
+        sector = st.rng.below(sectors);
+        break;
+      case Pattern::RandomHot: {
+        std::uint64_t hot = std::max<std::uint64_t>(
+            static_cast<std::uint64_t>(
+                static_cast<double>(sectors) * stream.hotFraction), 1);
+        if (st.rng.chance(stream.hotProb))
+            sector = st.rng.below(hot);
+        else
+            sector = st.rng.below(sectors);
+        break;
+      }
+      case Pattern::Strided: {
+        // Global ticket walked at a fixed sector stride, wrapping
+        // with a +1 phase shift so successive sweeps cover the gaps
+        // (column-major matrix walk).
+        std::uint64_t ticket = streamTickets[stream_idx]++;
+        std::uint64_t stride = std::max<std::uint64_t>(
+            stream.strideSectors, 1);
+        std::uint64_t per_sweep = sectors / stride;
+        if (per_sweep == 0)
+            per_sweep = 1;
+        std::uint64_t sweep = ticket / per_sweep;
+        std::uint64_t step = ticket % per_sweep;
+        sector = (step * stride + sweep) % sectors;
+        break;
+      }
+    }
+    return bases.at(stream.buffer) + sector * sectorBytes;
+}
+
+bool
+KernelTrace::next(SmId sm, TraceOp &op)
+{
+    shm_assert(sm < numSms, "SM {} out of range", sm);
+    SmState &st = smStates[sm];
+    if (st.finished)
+        return false;
+
+    while (true) {
+        if (st.streamCursor >= kernelSpec.streams.size()) {
+            st.streamCursor = 0;
+            if (++st.iteration >= kernelSpec.iterationsPerSm) {
+                st.finished = true;
+                --liveSms;
+                return false;
+            }
+        }
+        std::uint32_t idx = st.streamCursor++;
+        const StreamSpec &stream = kernelSpec.streams[idx];
+        if (stream.prob < 1.0 && !st.rng.chance(stream.prob))
+            continue;
+
+        op.computeInstrs = kernelSpec.computePerMem;
+        op.type = stream.write ? mem::AccessType::Write
+                               : mem::AccessType::Read;
+        op.space = spec.buffers.at(stream.buffer).space;
+        op.addr = streamAddr(sm, idx);
+        op.bytes = sectorBytes;
+        return true;
+    }
+}
+
+bool
+KernelTrace::done() const
+{
+    return liveSms == 0;
+}
+
+} // namespace shmgpu::workload

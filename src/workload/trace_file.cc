@@ -1,0 +1,197 @@
+#include "workload/trace_file.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace shmgpu::workload
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'S', 'H', 'M', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+void
+putBytes(std::FILE *f, const void *data, std::size_t len)
+{
+    if (std::fwrite(data, 1, len, f) != len)
+        shm_fatal("trace write failed");
+}
+
+void
+getBytes(std::FILE *f, void *data, std::size_t len)
+{
+    if (std::fread(data, 1, len, f) != len)
+        shm_fatal("trace read failed (truncated file?)");
+}
+
+template <typename T>
+void
+putPod(std::FILE *f, T v)
+{
+    putBytes(f, &v, sizeof(v));
+}
+
+template <typename T>
+T
+getPod(std::FILE *f)
+{
+    T v;
+    getBytes(f, &v, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+Trace
+generateTrace(const WorkloadSpec &spec, std::uint32_t num_sms)
+{
+    Trace trace;
+    trace.numSms = num_sms;
+    std::vector<Addr> bases = layoutBuffers(spec);
+
+    std::uint64_t stride = 256 * 12; // documentation only; copies keep
+                                     // physical ranges in the trace
+    (void)stride;
+
+    for (std::uint32_t k = 0; k < spec.kernels.size(); ++k) {
+        TraceKernel out;
+        for (const auto &copy : spec.kernels[k].preCopies) {
+            if (!copy.marksReadOnly)
+                continue;
+            out.copies.push_back({bases.at(copy.buffer),
+                                  spec.buffers.at(copy.buffer).bytes,
+                                  copy.declaredReadOnly});
+        }
+
+        KernelTrace gen(spec, bases, k, num_sms);
+        bool live = true;
+        while (live) {
+            live = false;
+            for (SmId sm = 0; sm < num_sms; ++sm) {
+                TraceOp op;
+                if (gen.next(sm, op)) {
+                    live = true;
+                    out.records.push_back({op, sm});
+                }
+            }
+        }
+        trace.kernels.push_back(std::move(out));
+    }
+    return trace;
+}
+
+void
+writeTrace(const Trace &trace, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        shm_fatal("cannot open '{}' for writing", path);
+
+    putBytes(f, kMagic, sizeof(kMagic));
+    putPod<std::uint32_t>(f, kVersion);
+    putPod<std::uint32_t>(f, trace.numSms);
+    putPod<std::uint32_t>(f,
+                          static_cast<std::uint32_t>(trace.kernels.size()));
+
+    for (const auto &kernel : trace.kernels) {
+        putPod<std::uint32_t>(
+            f, static_cast<std::uint32_t>(kernel.copies.size()));
+        for (const auto &copy : kernel.copies) {
+            putPod<std::uint64_t>(f, copy.base);
+            putPod<std::uint64_t>(f, copy.bytes);
+            putPod<std::uint8_t>(f, copy.declaredReadOnly ? 1 : 0);
+        }
+        putPod<std::uint64_t>(f, kernel.records.size());
+        for (const auto &rec : kernel.records) {
+            putPod<std::uint64_t>(f, rec.op.addr);
+            putPod<std::uint8_t>(f, static_cast<std::uint8_t>(rec.sm));
+            putPod<std::uint8_t>(
+                f, static_cast<std::uint8_t>(rec.op.computeInstrs));
+            putPod<std::uint8_t>(
+                f, rec.op.type == mem::AccessType::Write ? 1 : 0);
+            putPod<std::uint8_t>(
+                f, static_cast<std::uint8_t>(rec.op.space));
+            putPod<std::uint32_t>(f, rec.op.bytes);
+        }
+    }
+    std::fclose(f);
+}
+
+Trace
+readTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        shm_fatal("cannot open trace '{}'", path);
+
+    char magic[4];
+    getBytes(f, magic, sizeof(magic));
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        shm_fatal("'{}' is not a shmgpu trace", path);
+    auto version = getPod<std::uint32_t>(f);
+    if (version != kVersion)
+        shm_fatal("trace version {} unsupported (expected {})", version,
+                  kVersion);
+
+    Trace trace;
+    trace.numSms = getPod<std::uint32_t>(f);
+    auto kernels = getPod<std::uint32_t>(f);
+    for (std::uint32_t k = 0; k < kernels; ++k) {
+        TraceKernel kernel;
+        auto copies = getPod<std::uint32_t>(f);
+        for (std::uint32_t c = 0; c < copies; ++c) {
+            TraceCopy copy;
+            copy.base = getPod<std::uint64_t>(f);
+            copy.bytes = getPod<std::uint64_t>(f);
+            copy.declaredReadOnly = getPod<std::uint8_t>(f) != 0;
+            kernel.copies.push_back(copy);
+        }
+        auto records = getPod<std::uint64_t>(f);
+        kernel.records.reserve(records);
+        for (std::uint64_t r = 0; r < records; ++r) {
+            TraceRecord rec;
+            rec.op.addr = getPod<std::uint64_t>(f);
+            rec.sm = getPod<std::uint8_t>(f);
+            rec.op.computeInstrs = getPod<std::uint8_t>(f);
+            rec.op.type = getPod<std::uint8_t>(f)
+                              ? mem::AccessType::Write
+                              : mem::AccessType::Read;
+            rec.op.space = static_cast<MemSpace>(getPod<std::uint8_t>(f));
+            rec.op.bytes = getPod<std::uint32_t>(f);
+            kernel.records.push_back(rec);
+        }
+        trace.kernels.push_back(std::move(kernel));
+    }
+    std::fclose(f);
+    return trace;
+}
+
+TraceReplay::TraceReplay(const Trace &trace, std::uint32_t kernel_idx)
+    : kernel(&trace.kernels.at(kernel_idx)), perSm(trace.numSms),
+      cursors(trace.numSms, 0)
+{
+    for (std::uint32_t i = 0; i < kernel->records.size(); ++i)
+        perSm.at(kernel->records[i].sm).push_back(i);
+    for (SmId sm = 0; sm < perSm.size(); ++sm)
+        if (perSm[sm].empty())
+            ++drained;
+}
+
+bool
+TraceReplay::next(SmId sm, TraceOp &op)
+{
+    auto &queue = perSm.at(sm);
+    std::size_t &cursor = cursors.at(sm);
+    if (cursor >= queue.size())
+        return false;
+    op = kernel->records[queue[cursor++]].op;
+    if (cursor == queue.size())
+        ++drained;
+    return true;
+}
+
+} // namespace shmgpu::workload

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Trace recording and replay.
+ *
+ * A trace file captures a workload's complete per-SM instruction/access
+ * stream (all kernels, plus the host-copy events that seed the
+ * read-only detector) so that runs can be reproduced, shared, and
+ * analyzed without the workload generator. The record-time SM
+ * interleaving (round-robin) is frozen into the file; replay returns
+ * exactly the recorded streams.
+ *
+ * Format (little-endian):
+ *   header : "SHMT" u32-version u32-numSms u32-numKernels
+ *   kernel : u32-numCopies { u64 base, u64 bytes, u8 declaredRO }...
+ *            u64-numOps { u64 addr, u8 sm, u8 computeInstrs,
+ *                         u8 type, u8 space, u32 bytes }...
+ */
+
+#ifndef SHMGPU_WORKLOAD_TRACE_FILE_HH
+#define SHMGPU_WORKLOAD_TRACE_FILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/spec.hh"
+#include "workload/trace.hh"
+
+namespace shmgpu::workload
+{
+
+/** A host-copy event as stored in a trace. */
+struct TraceCopy
+{
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+    bool declaredReadOnly = false;
+};
+
+/** One recorded memory operation. */
+struct TraceRecord
+{
+    TraceOp op;
+    SmId sm = 0;
+};
+
+/** One kernel's worth of trace. */
+struct TraceKernel
+{
+    std::vector<TraceCopy> copies;
+    std::vector<TraceRecord> records;
+};
+
+/** An in-memory trace (what the file serializes). */
+struct Trace
+{
+    std::uint32_t numSms = 0;
+    std::vector<TraceKernel> kernels;
+
+    std::uint64_t
+    totalOps() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &k : kernels)
+            n += k.records.size();
+        return n;
+    }
+};
+
+/**
+ * Generate a workload's trace by draining its kernels round-robin
+ * across SMs (the same interleaving the simulator's SM loop produces
+ * when nothing stalls).
+ */
+Trace generateTrace(const WorkloadSpec &spec, std::uint32_t num_sms);
+
+/** Serialize @p trace to @p path; fatal on I/O failure. */
+void writeTrace(const Trace &trace, const std::string &path);
+
+/** Load a trace; fatal on I/O or format errors. */
+Trace readTrace(const std::string &path);
+
+/**
+ * Per-kernel replay source with the same next()/done() shape as
+ * KernelTrace: per-SM queues return the recorded streams.
+ */
+class TraceReplay
+{
+  public:
+    explicit TraceReplay(const Trace &trace, std::uint32_t kernel_idx);
+
+    /** Next recorded op for @p sm; false when its stream is drained. */
+    bool next(SmId sm, TraceOp &op);
+
+    bool done() const { return drained == cursors.size(); }
+
+    const std::vector<TraceCopy> &copies() const
+    {
+        return kernel->copies;
+    }
+
+  private:
+    const TraceKernel *kernel;
+    /** Per-SM index lists into kernel->records. */
+    std::vector<std::vector<std::uint32_t>> perSm;
+    std::vector<std::size_t> cursors;
+    std::size_t drained = 0;
+};
+
+} // namespace shmgpu::workload
+
+#endif // SHMGPU_WORKLOAD_TRACE_FILE_HH

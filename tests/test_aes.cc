@@ -1,0 +1,104 @@
+/**
+ * @file
+ * AES-128 known-answer and property tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.hh"
+#include "crypto/aes128.hh"
+
+using namespace shmgpu::crypto;
+
+namespace
+{
+
+Block16
+blockFromHex(const char *hex)
+{
+    Block16 out{};
+    for (int i = 0; i < 16; ++i) {
+        auto nibble = [&](char c) -> std::uint8_t {
+            if (c >= '0' && c <= '9')
+                return static_cast<std::uint8_t>(c - '0');
+            return static_cast<std::uint8_t>(c - 'a' + 10);
+        };
+        out[i] = static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) |
+                                           nibble(hex[2 * i + 1]));
+    }
+    return out;
+}
+
+} // namespace
+
+// FIPS-197 Appendix B example.
+TEST(Aes128, Fips197AppendixB)
+{
+    Aes128 aes(blockFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    Block16 ct = aes.encrypt(blockFromHex("3243f6a8885a308d313198a2e0370734"));
+    EXPECT_EQ(ct, blockFromHex("3925841d02dc09fbdc118597196a0b32"));
+}
+
+// FIPS-197 Appendix C.1 (AES-128) known answer.
+TEST(Aes128, Fips197AppendixC1)
+{
+    Aes128 aes(blockFromHex("000102030405060708090a0b0c0d0e0f"));
+    Block16 ct = aes.encrypt(blockFromHex("00112233445566778899aabbccddeeff"));
+    EXPECT_EQ(ct, blockFromHex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+}
+
+// NIST SP 800-38A ECB-AES128 vectors (first two blocks).
+TEST(Aes128, Sp80038aEcbVectors)
+{
+    Aes128 aes(blockFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    EXPECT_EQ(aes.encrypt(
+                  blockFromHex("6bc1bee22e409f96e93d7e117393172a")),
+              blockFromHex("3ad77bb40d7a3660a89ecaf32466ef97"));
+    EXPECT_EQ(aes.encrypt(
+                  blockFromHex("ae2d8a571e03ac9c9eb76fac45af8e51")),
+              blockFromHex("f5d3d58503b9699de785895a96fdbaaf"));
+}
+
+TEST(Aes128, EncryptionIsDeterministic)
+{
+    Aes128 aes(blockFromHex("000102030405060708090a0b0c0d0e0f"));
+    Block16 pt = blockFromHex("00112233445566778899aabbccddeeff");
+    EXPECT_EQ(aes.encrypt(pt), aes.encrypt(pt));
+}
+
+TEST(Aes128, DifferentKeysGiveDifferentCiphertext)
+{
+    Block16 pt{};
+    Aes128 a(blockFromHex("00000000000000000000000000000000"));
+    Aes128 b(blockFromHex("00000000000000000000000000000001"));
+    EXPECT_NE(a.encrypt(pt), b.encrypt(pt));
+}
+
+// Avalanche property: flipping one plaintext bit changes roughly half
+// the ciphertext bits.
+TEST(Aes128, AvalancheProperty)
+{
+    shmgpu::Rng rng(42);
+    Aes128 aes(blockFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+
+    for (int trial = 0; trial < 32; ++trial) {
+        Block16 pt;
+        for (auto &b : pt)
+            b = static_cast<std::uint8_t>(rng.next());
+        Block16 pt2 = pt;
+        unsigned bit = static_cast<unsigned>(rng.below(128));
+        pt2[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+
+        Block16 c1 = aes.encrypt(pt);
+        Block16 c2 = aes.encrypt(pt2);
+        int diff = 0;
+        for (int i = 0; i < 16; ++i)
+            diff += std::popcount(
+                static_cast<unsigned>(c1[i] ^ c2[i]));
+        // 128-bit block: expect ~64 differing bits; allow wide margin.
+        EXPECT_GT(diff, 30);
+        EXPECT_LT(diff, 98);
+    }
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * AES-CMAC reference-vector tests (RFC 4493) and the paper's
+ * birthday-bound arithmetic (Section III-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/cmac.hh"
+
+using namespace shmgpu::crypto;
+
+namespace
+{
+
+Block16
+blockFromHex(const char *hex)
+{
+    Block16 out{};
+    auto nibble = [](char c) -> std::uint8_t {
+        if (c >= '0' && c <= '9')
+            return static_cast<std::uint8_t>(c - '0');
+        return static_cast<std::uint8_t>(c - 'a' + 10);
+    };
+    for (int i = 0; i < 16; ++i)
+        out[i] = static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) |
+                                           nibble(hex[2 * i + 1]));
+    return out;
+}
+
+/** The RFC 4493 key and message prefix. */
+const Block16 kKey = blockFromHex("2b7e151628aed2a6abf7158809cf4f3c");
+
+const std::uint8_t kMsg[64] = {
+    0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e,
+    0x11, 0x73, 0x93, 0x17, 0x2a, 0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03,
+    0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac, 0x45, 0xaf, 0x8e, 0x51, 0x30,
+    0xc8, 0x1c, 0x46, 0xa3, 0x5c, 0xe4, 0x11, 0xe5, 0xfb, 0xc1, 0x19,
+    0x1a, 0x0a, 0x52, 0xef, 0xf6, 0x9f, 0x24, 0x45, 0xdf, 0x4f, 0x9b,
+    0x17, 0xad, 0x2b, 0x41, 0x7b, 0xe6, 0x6c, 0x37, 0x10,
+};
+
+} // namespace
+
+TEST(AesCmac, Rfc4493EmptyMessage)
+{
+    AesCmac cmac(kKey);
+    EXPECT_EQ(cmac.mac(nullptr, 0),
+              blockFromHex("bb1d6929e95937287fa37d129b756746"));
+}
+
+TEST(AesCmac, Rfc4493SixteenBytes)
+{
+    AesCmac cmac(kKey);
+    EXPECT_EQ(cmac.mac(kMsg, 16),
+              blockFromHex("070a16b46b4d4144f79bdd9dd04a287c"));
+}
+
+TEST(AesCmac, Rfc4493FortyBytes)
+{
+    AesCmac cmac(kKey);
+    EXPECT_EQ(cmac.mac(kMsg, 40),
+              blockFromHex("dfa66747de9ae63030ca32611497c827"));
+}
+
+TEST(AesCmac, Rfc4493SixtyFourBytes)
+{
+    AesCmac cmac(kKey);
+    EXPECT_EQ(cmac.mac(kMsg, 64),
+              blockFromHex("51f0bebf7e3b9d92fc49741779363cfe"));
+}
+
+TEST(AesCmac, Mac64IsTagPrefix)
+{
+    AesCmac cmac(kKey);
+    Block16 tag = cmac.mac(kMsg, 16);
+    std::uint64_t short_tag = cmac.mac64(kMsg, 16);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(static_cast<std::uint8_t>(short_tag >> (8 * i)),
+                  tag[i]);
+}
+
+TEST(AesCmac, KeySeparation)
+{
+    AesCmac a(kKey);
+    AesCmac b(blockFromHex("00000000000000000000000000000001"));
+    EXPECT_NE(a.mac(kMsg, 32), b.mac(kMsg, 32));
+}
+
+TEST(MacTruncation, KeepsLowBits)
+{
+    EXPECT_EQ(truncateMac(0xFFFFFFFFFFFFFFFFull, 32), 0xFFFFFFFFull);
+    EXPECT_EQ(truncateMac(0x123456789ABCDEF0ull, 16), 0xDEF0ull);
+    EXPECT_EQ(truncateMac(0x123456789ABCDEF0ull, 64),
+              0x123456789ABCDEF0ull);
+    EXPECT_DEATH(truncateMac(1, 0), "out of range");
+}
+
+TEST(MacTruncation, BirthdayBoundMatchesPaper)
+{
+    // Section III-C: a 4 GB device with 128 B blocks holds 2^25
+    // blocks, so the MAC must be at least 50 bits for collision
+    // resistance; a truncated 32-bit MAC collides after ~2^16 writes.
+    EXPECT_EQ(minimumMacBits(4ull << 30, 128), 50u);
+    EXPECT_DOUBLE_EQ(collisionExponent(50), 25.0);
+    EXPECT_DOUBLE_EQ(collisionExponent(32), 16.0);
+    EXPECT_DOUBLE_EQ(collisionExponent(64), 32.0);
+    // 8 B MACs (the paper's default) clear the bar comfortably.
+    EXPECT_GE(64u, minimumMacBits(4ull << 30, 128));
+}

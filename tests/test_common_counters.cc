@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Common-counter table tests (Common_ctr / *_cctr schemes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "meta/counters.hh"
+
+using namespace shmgpu;
+using namespace shmgpu::meta;
+
+namespace
+{
+
+class CommonCounterTest : public ::testing::Test
+{
+  protected:
+    CommonCounterTest() : layout(makeParams()), table(layout) {}
+
+    static LayoutParams
+    makeParams()
+    {
+        LayoutParams p;
+        p.dataBytes = 1 << 20;
+        return p;
+    }
+
+    MetadataLayout layout;
+    CommonCounterTable table;
+};
+
+} // namespace
+
+TEST_F(CommonCounterTest, InitiallyCommonEverywhere)
+{
+    EXPECT_TRUE(table.isCommon(0));
+    EXPECT_TRUE(table.isCommon(512 * 1024));
+    EXPECT_DOUBLE_EQ(table.commonFraction(), 1.0);
+}
+
+TEST_F(CommonCounterTest, WritesAreNeverCoveredAndDevolve)
+{
+    // Writes persist their counters; the touched region devolves.
+    EXPECT_FALSE(table.recordWrite(0));
+    EXPECT_FALSE(table.isCommon(0));
+    // Only that 8 KB region devolves.
+    EXPECT_TRUE(table.isCommon(8 * 1024));
+}
+
+TEST_F(CommonCounterTest, DevolvedRegionStaysPerBlock)
+{
+    table.recordWrite(0);
+    table.kernelBoundary();
+    EXPECT_FALSE(table.isCommon(0));
+    EXPECT_FALSE(table.recordWrite(128));
+}
+
+TEST_F(CommonCounterTest, ReadsOfUntouchedRegionsStayCovered)
+{
+    table.recordWrite(0);
+    EXPECT_TRUE(table.isCommon(512 * 1024));
+}
+
+TEST_F(CommonCounterTest, CommonFractionTracksDevolution)
+{
+    table.recordWrite(0);          // region 0 devolves
+    table.recordWrite(8 * 1024);   // region 1 devolves
+    EXPECT_NEAR(table.commonFraction(), 0.0, 1e-9);
+}

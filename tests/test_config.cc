@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Config-file and parameter-override tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/config.hh"
+#include "core/overrides.hh"
+
+using namespace shmgpu;
+
+namespace
+{
+
+Config
+parse(const std::string &text)
+{
+    std::istringstream is(text);
+    return Config::fromStream(is, "<test>");
+}
+
+} // namespace
+
+TEST(Config, ParsesTypedValues)
+{
+    Config c = parse(R"(
+# a comment
+alpha = 42
+beta  = 2.5        # trailing comment
+gamma = true
+delta = hello
+)");
+    EXPECT_EQ(c.size(), 4u);
+    EXPECT_EQ(c.getU64("alpha", 0), 42u);
+    EXPECT_DOUBLE_EQ(c.getDouble("beta", 0), 2.5);
+    EXPECT_TRUE(c.getBool("gamma", false));
+    EXPECT_EQ(c.getString("delta", ""), "hello");
+    c.assertConsumed();
+}
+
+TEST(Config, FallbacksForMissingKeys)
+{
+    Config c = parse("x = 1\n");
+    EXPECT_EQ(c.getU64("missing", 7), 7u);
+    EXPECT_FALSE(c.getBool("nope", false));
+    EXPECT_TRUE(c.has("x"));
+    EXPECT_FALSE(c.has("missing"));
+}
+
+TEST(Config, Errors)
+{
+    EXPECT_DEATH(parse("no equals sign\n"), "expected 'key = value'");
+    EXPECT_DEATH(parse("a = 1\na = 2\n"), "duplicate key");
+    EXPECT_DEATH(parse("a = x\n").getU64("a", 0), "non-integer");
+    EXPECT_DEATH(parse("a = maybe\n").getBool("a", false),
+                 "non-boolean");
+    EXPECT_DEATH(
+        {
+            Config c = parse("typo_key = 1\n");
+            c.assertConsumed();
+        },
+        "unknown configuration key 'typo_key'");
+}
+
+TEST(Overrides, ApplyToGpuAndMeeParams)
+{
+    Config c = parse(R"(
+gpu.num_sms          = 16
+gpu.sm_window        = 24
+dram.bytes_per_cycle = 8
+mee.mats             = 4
+mee.chunk_bytes      = 2048
+mee.mac_bytes        = 4
+mee.static_space_hints = true
+)");
+    gpu::GpuParams gp;
+    mee::MeeParams mp;
+    core::applyGpuOverrides(c, gp);
+    core::applyMeeOverrides(c, mp);
+    c.assertConsumed();
+
+    EXPECT_EQ(gp.numSms, 16u);
+    EXPECT_EQ(gp.smWindow, 24u);
+    EXPECT_DOUBLE_EQ(gp.dram.bytesPerCycle, 8.0);
+    EXPECT_EQ(mp.streamDetector.trackers, 4u);
+    EXPECT_EQ(mp.streamDetector.chunkBytes, 2048u);
+    EXPECT_EQ(mp.macBytes, 4u);
+    EXPECT_TRUE(mp.staticSpaceHints);
+}
+
+TEST(Overrides, MdcBytesSetsAllThreeCaches)
+{
+    Config c = parse("mee.mdc_bytes = 4096\n");
+    mee::MeeParams mp;
+    core::applyMeeOverrides(c, mp);
+    EXPECT_EQ(mp.counterCache.sizeBytes, 4096u);
+    EXPECT_EQ(mp.macCache.sizeBytes, 4096u);
+    EXPECT_EQ(mp.bmtCache.sizeBytes, 4096u);
+}
+
+TEST(Overrides, DefaultsUntouchedWithoutKeys)
+{
+    Config c = parse("gpu.num_sms = 8\n");
+    gpu::GpuParams gp;
+    mee::MeeParams mp;
+    core::applyGpuOverrides(c, gp);
+    core::applyMeeOverrides(c, mp);
+    EXPECT_EQ(gp.numSms, 8u);
+    EXPECT_EQ(gp.numPartitions, 12u);
+    EXPECT_EQ(mp.macBytes, 8u);
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * SGX-style counter-tree tests: the alternative integrity-tree design
+ * of Fig. 2, exercised with the same attack repertoire as the BMT.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/keygen.hh"
+#include "meta/counter_tree.hh"
+
+using namespace shmgpu;
+using namespace shmgpu::meta;
+
+namespace
+{
+
+class CounterTreeTest : public ::testing::Test
+{
+  protected:
+    CounterTreeTest()
+        : tree(4096, 8, crypto::generateKeys(11).treeKey)
+    {
+    }
+
+    SgxCounterTree tree;
+};
+
+} // namespace
+
+TEST_F(CounterTreeTest, GeometryMatchesArity)
+{
+    // 4096 leaves, arity 8: 512, 64, 8, 1 stored levels.
+    ASSERT_EQ(tree.levels(), 4u);
+    EXPECT_EQ(tree.nodesAt(0), 512u);
+    EXPECT_EQ(tree.nodesAt(1), 64u);
+    EXPECT_EQ(tree.nodesAt(2), 8u);
+    EXPECT_EQ(tree.nodesAt(3), 1u);
+}
+
+TEST_F(CounterTreeTest, FreshTreeVerifies)
+{
+    EXPECT_TRUE(tree.verify(0).ok);
+    EXPECT_TRUE(tree.verify(4095).ok);
+    EXPECT_EQ(tree.leafVersion(7), 0u);
+}
+
+TEST_F(CounterTreeTest, UpdateBumpsVersionAndStillVerifies)
+{
+    tree.update(42);
+    EXPECT_EQ(tree.leafVersion(42), 1u);
+    EXPECT_EQ(tree.leafVersion(43), 0u);
+    EXPECT_TRUE(tree.verify(42).ok);
+    EXPECT_TRUE(tree.verify(43).ok) << "sibling paths stay valid";
+    EXPECT_TRUE(tree.verify(4000).ok) << "distant paths stay valid";
+
+    for (int i = 0; i < 10; ++i)
+        tree.update(42);
+    EXPECT_EQ(tree.leafVersion(42), 11u);
+    EXPECT_TRUE(tree.verify(42).ok);
+}
+
+TEST_F(CounterTreeTest, MacTamperingDetected)
+{
+    tree.update(100);
+    for (unsigned level = 0; level < tree.levels(); ++level) {
+        SgxCounterTree fresh(4096, 8, crypto::generateKeys(11).treeKey);
+        fresh.update(100);
+        std::uint64_t node = 100;
+        for (unsigned l = 0; l <= level; ++l)
+            node /= 8;
+        fresh.corruptNodeMac(level, node, 0xBAD);
+        auto v = fresh.verify(100);
+        EXPECT_FALSE(v.ok) << "level " << level;
+        EXPECT_EQ(v.failedLevel, level);
+    }
+}
+
+TEST_F(CounterTreeTest, VersionTamperingDetected)
+{
+    tree.update(100);
+    // Forging the leaf version in its parent invalidates the parent's
+    // own MAC (the versions are MACed together).
+    tree.tamperVersion(0, 100 / 8, 100 % 8, 999);
+    auto v = tree.verify(100);
+    EXPECT_FALSE(v.ok);
+    EXPECT_EQ(v.failedLevel, 0u);
+}
+
+TEST_F(CounterTreeTest, NodeReplayDetected)
+{
+    // Snapshot the leaf's parent node, advance, then replay it: its
+    // embedded MAC is bound to a grandparent version that has moved.
+    tree.update(100);
+    auto snap = tree.snapshotNode(0, 100 / 8);
+
+    tree.update(100);
+    ASSERT_TRUE(tree.verify(100).ok);
+
+    tree.restoreNode(snap);
+    auto v = tree.verify(100);
+    EXPECT_FALSE(v.ok);
+    EXPECT_EQ(v.failedLevel, 0u)
+        << "the replayed node's MAC no longer matches its parent "
+           "version";
+}
+
+TEST_F(CounterTreeTest, ConsistentMultiLevelReplayCaughtAtRoot)
+{
+    // Replay the whole stored path consistently: only the on-chip
+    // root versions expose it.
+    tree.update(100);
+    std::vector<SgxCounterTree::NodeSnapshot> snaps;
+    std::uint64_t node = 100 / 8;
+    for (unsigned level = 0; level < tree.levels(); ++level) {
+        snaps.push_back(tree.snapshotNode(level, node));
+        node /= 8;
+    }
+
+    tree.update(100);
+    ASSERT_TRUE(tree.verify(100).ok);
+
+    for (const auto &snap : snaps)
+        tree.restoreNode(snap);
+    auto v = tree.verify(100);
+    EXPECT_FALSE(v.ok);
+    EXPECT_EQ(v.failedLevel, tree.levels() - 1)
+        << "the top stored node fails against the on-chip root "
+           "version";
+}
+
+TEST_F(CounterTreeTest, ManyLeavesIndependent)
+{
+    for (std::uint64_t leaf = 0; leaf < 4096; leaf += 97)
+        tree.update(leaf);
+    for (std::uint64_t leaf = 0; leaf < 4096; leaf += 31)
+        EXPECT_TRUE(tree.verify(leaf).ok) << "leaf " << leaf;
+}
+
+TEST(CounterTreeGeometry, SingleLevel)
+{
+    SgxCounterTree tiny(8, 8, crypto::generateKeys(3).treeKey);
+    EXPECT_EQ(tiny.levels(), 1u);
+    tiny.update(3);
+    EXPECT_TRUE(tiny.verify(3).ok);
+    tiny.corruptNodeMac(0, 0, 1);
+    EXPECT_FALSE(tiny.verify(3).ok);
+}

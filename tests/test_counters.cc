@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Split-counter store and shared-counter tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "meta/counters.hh"
+
+using namespace shmgpu;
+using namespace shmgpu::meta;
+
+namespace
+{
+
+class CounterTest : public ::testing::Test
+{
+  protected:
+    CounterTest() : layout(makeParams()), store(layout) {}
+
+    static LayoutParams
+    makeParams()
+    {
+        LayoutParams p;
+        p.dataBytes = 1 << 20;
+        return p;
+    }
+
+    MetadataLayout layout;
+    CounterStore store;
+};
+
+} // namespace
+
+TEST_F(CounterTest, DefaultsToZero)
+{
+    EXPECT_EQ(store.read(0), (CounterValue{0, 0}));
+    EXPECT_EQ(store.read(999 * 128), (CounterValue{0, 0}));
+    EXPECT_EQ(store.materializedBlocks(), 0u);
+}
+
+TEST_F(CounterTest, IncrementAdvancesMinorOnly)
+{
+    auto r = store.increment(0);
+    EXPECT_FALSE(r.minorOverflow);
+    EXPECT_EQ(r.value, (CounterValue{0, 1}));
+    EXPECT_EQ(store.read(0), (CounterValue{0, 1}));
+    // Sibling block in the same counter block is untouched.
+    EXPECT_EQ(store.read(128), (CounterValue{0, 0}));
+}
+
+TEST_F(CounterTest, MinorOverflowBumpsMajorAndResetsRegion)
+{
+    store.increment(128); // sibling with minor 1
+    for (int i = 0; i < 127; ++i)
+        EXPECT_FALSE(store.increment(0).minorOverflow);
+    EXPECT_EQ(store.read(0).minor, 127u);
+
+    auto r = store.increment(0);
+    EXPECT_TRUE(r.minorOverflow);
+    EXPECT_EQ(r.value, (CounterValue{1, 0}));
+    // The whole region re-encrypts: every minor reset, major bumped.
+    EXPECT_EQ(store.read(128), (CounterValue{1, 0}));
+}
+
+TEST_F(CounterTest, DevolveFromShared)
+{
+    auto r = store.devolveFromShared(2 * 128, 3);
+    EXPECT_EQ(r.value, (CounterValue{3, 1}));
+    // Fig. 8: siblings get (shared, pad=0).
+    EXPECT_EQ(store.read(0), (CounterValue{3, 0}));
+    EXPECT_EQ(store.read(63 * 128), (CounterValue{3, 0}));
+    // ...but only within this counter block.
+    EXPECT_EQ(store.read(64 * 128), (CounterValue{0, 0}));
+}
+
+TEST_F(CounterTest, SetRegionMajor)
+{
+    store.increment(0);
+    store.setRegionMajor(0, 9);
+    EXPECT_EQ(store.read(0), (CounterValue{9, 0}));
+    EXPECT_EQ(store.read(63 * 128), (CounterValue{9, 0}));
+}
+
+TEST_F(CounterTest, BumpMajor)
+{
+    store.increment(0);
+    store.bumpMajor(0);
+    EXPECT_EQ(store.read(0), (CounterValue{1, 0}));
+}
+
+TEST_F(CounterTest, MaxMajorScan)
+{
+    EXPECT_EQ(store.maxMajor(0, 1 << 20), 0u);
+    store.setRegionMajor(0, 5);
+    store.setRegionMajor(16 * 1024, 9);
+    store.setRegionMajor(512 * 1024, 2);
+    EXPECT_EQ(store.maxMajor(0, 1 << 20), 9u);
+    // Restricted scan misses the remote region.
+    EXPECT_EQ(store.maxMajor(0, 8 * 1024), 5u);
+}
+
+TEST_F(CounterTest, RestoreForReplayAttacks)
+{
+    store.increment(0);
+    store.increment(0);
+    store.restore(0, {7, 1});
+    EXPECT_EQ(store.read(0), (CounterValue{7, 1}));
+}
+
+TEST_F(CounterTest, SerializeReflectsContent)
+{
+    auto before = store.serializeCounterBlock(0);
+    EXPECT_EQ(before.size(), 8u + 64u);
+    store.increment(0);
+    auto after = store.serializeCounterBlock(0);
+    EXPECT_NE(before, after);
+    // Untouched blocks serialize like the default.
+    EXPECT_EQ(store.serializeCounterBlock(1), before);
+}
+
+TEST(SharedCounter, StartsAtZeroForAliasSafety)
+{
+    SharedCounter s;
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(SharedCounter, RaiseAboveNeverLowers)
+{
+    SharedCounter s;
+    s.raiseAbove(10);
+    EXPECT_EQ(s.value(), 11u);
+    s.raiseAbove(3); // below current: still advances past current
+    EXPECT_EQ(s.value(), 12u);
+    s.advance();
+    EXPECT_EQ(s.value(), 13u);
+}

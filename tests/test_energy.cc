@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Energy-model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/energy.hh"
+
+using namespace shmgpu::gpu;
+
+TEST(Energy, ZeroActivityZeroEnergy)
+{
+    EXPECT_EQ(totalEnergy(EnergyParams{}, EnergyActivity{}), 0.0);
+    EXPECT_EQ(energyPerInstruction(EnergyParams{}, EnergyActivity{}),
+              0.0);
+}
+
+TEST(Energy, ComponentsAddUp)
+{
+    EnergyParams p;
+    p.staticPerCycle = 10;
+    p.perInstruction = 1;
+    p.perL2Access = 2;
+    p.perDramByte = 0.5;
+    p.perMdcAccess = 0.25;
+    p.perAesBlock = 3;
+    p.perHash = 4;
+
+    EnergyActivity a;
+    a.cycles = 100;
+    a.instructions = 50;
+    a.l2Accesses = 10;
+    a.dramBytes = 40;
+    a.mdcAccesses = 8;
+    a.aesBlocks = 2;
+    a.hashes = 1;
+
+    double expected = 10 * 100 + 1 * 50 + 2 * 10 + 0.5 * 40 +
+                      0.25 * 8 + 3 * 2 + 4 * 1;
+    EXPECT_DOUBLE_EQ(totalEnergy(p, a), expected);
+    EXPECT_DOUBLE_EQ(energyPerInstruction(p, a), expected / 50);
+}
+
+TEST(Energy, RuntimeDilationRaisesEnergyPerInstruction)
+{
+    // Same work over more cycles costs more static energy per
+    // instruction — the effect behind Fig. 15.
+    EnergyParams p;
+    EnergyActivity fast, slow;
+    fast.cycles = 1000;
+    slow.cycles = 1500;
+    fast.instructions = slow.instructions = 10000;
+    fast.dramBytes = slow.dramBytes = 1 << 20;
+    EXPECT_GT(energyPerInstruction(p, slow),
+              energyPerInstruction(p, fast));
+}
+
+TEST(Energy, ExtraTrafficRaisesEnergy)
+{
+    EnergyParams p;
+    EnergyActivity base, meta;
+    base.cycles = meta.cycles = 1000;
+    base.instructions = meta.instructions = 10000;
+    base.dramBytes = 1 << 20;
+    meta.dramBytes = 3 << 20;
+    EXPECT_GT(totalEnergy(p, meta), totalEnergy(p, base));
+}

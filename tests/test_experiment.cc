@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Experiment-facade tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+using namespace shmgpu;
+using namespace shmgpu::core;
+
+namespace
+{
+
+gpu::GpuParams
+quickParams()
+{
+    gpu::GpuParams p;
+    p.maxCyclesPerKernel = 30000;
+    return p;
+}
+
+} // namespace
+
+TEST(Experiment, NormalizedIpcIsInUnitRange)
+{
+    Experiment exp(quickParams());
+    auto w = workload::makeStreamingMicro(4 << 20, 2048);
+    auto r = exp.run(schemes::Scheme::Shm, w);
+    EXPECT_GT(r.normalizedIpc, 0.5);
+    EXPECT_LE(r.normalizedIpc, 1.001);
+    EXPECT_NEAR(r.overhead(), 1.0 - r.normalizedIpc, 1e-12);
+    EXPECT_EQ(r.workload, "micro-stream");
+    EXPECT_EQ(r.scheme, "SHM");
+}
+
+TEST(Experiment, BaselineIsCachedAcrossRuns)
+{
+    Experiment exp(quickParams());
+    auto w = workload::makeMixedMicro();
+    const auto &b1 = exp.baselineFor(w);
+    const auto &b2 = exp.baselineFor(w);
+    EXPECT_EQ(&b1, &b2);
+}
+
+TEST(Experiment, EnergyNormalizationAboveOneForSecureSchemes)
+{
+    Experiment exp(quickParams());
+    auto w = workload::makeStreamingMicro(4 << 20, 2048);
+    auto naive = exp.run(schemes::Scheme::Naive, w);
+    EXPECT_GT(naive.normalizedEnergyPerInstr, 1.05);
+    auto shm = exp.run(schemes::Scheme::Shm, w);
+    EXPECT_LT(shm.normalizedEnergyPerInstr,
+              naive.normalizedEnergyPerInstr);
+}
+
+TEST(Experiment, AccuracyCollectionFillsPredictionStats)
+{
+    Experiment exp(quickParams());
+    auto w = workload::makeMixedMicro();
+    RunOptions opts;
+    opts.collectAccuracy = true;
+    auto r = exp.run(schemes::Scheme::Shm, w, opts);
+    double ro_total = r.metrics.roCorrect + r.metrics.roMpInit +
+                      r.metrics.roMpAliasing;
+    EXPECT_GT(ro_total, 0.0);
+}
+
+TEST(Experiment, UpperBoundRunsProfilePassAutomatically)
+{
+    Experiment exp(quickParams());
+    auto w = workload::makeMixedMicro();
+    auto r = exp.run(schemes::Scheme::ShmUpperBound, w);
+    EXPECT_GT(r.normalizedIpc, 0.0);
+}
+
+TEST(Geomean, MatchesHandComputation)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Geomean, RejectsNonPositive)
+{
+    EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
+}

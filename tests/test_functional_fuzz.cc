@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Property-based fuzzing of the functional secure-memory context: a
+ * long random mix of host copies, kernel reads/writes, region resets
+ * and re-encryptions must always decrypt to exactly what a plain
+ * reference model holds — and randomly injected physical attacks must
+ * always be detected.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "mee/functional.hh"
+
+using namespace shmgpu;
+using namespace shmgpu::mee;
+using shmgpu::crypto::DataBlock;
+
+namespace
+{
+
+constexpr std::uint64_t kSpace = 1 << 20; // 8192 blocks
+constexpr int kBlocks = kSpace / 128;
+
+meta::LayoutParams
+layoutParams()
+{
+    meta::LayoutParams p;
+    p.dataBytes = kSpace;
+    return p;
+}
+
+DataBlock
+randomBlock(Rng &rng)
+{
+    DataBlock b;
+    for (auto &byte : b)
+        byte = static_cast<std::uint8_t>(rng.next());
+    return b;
+}
+
+} // namespace
+
+class FunctionalFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FunctionalFuzz, RandomOperationMixMatchesReference)
+{
+    Rng rng(GetParam());
+    SecureMemoryContext ctx(layoutParams(), GetParam());
+    std::map<LocalAddr, DataBlock> reference;
+
+    for (int step = 0; step < 3000; ++step) {
+        LocalAddr addr = rng.below(kBlocks) * 128;
+        switch (rng.below(10)) {
+          case 0:
+          case 1: { // host copy (read-only marking)
+            DataBlock b = randomBlock(rng);
+            ctx.hostWrite(addr, b, /*mark_read_only=*/true);
+            reference[addr] = b;
+            break;
+          }
+          case 2: { // host copy without marking
+            DataBlock b = randomBlock(rng);
+            ctx.hostWrite(addr, b, /*mark_read_only=*/false);
+            reference[addr] = b;
+            break;
+          }
+          case 3:
+          case 4:
+          case 5: { // kernel write (may trigger RO transitions)
+            DataBlock b = randomBlock(rng);
+            ctx.deviceWrite(addr, b);
+            reference[addr] = b;
+            break;
+          }
+          case 6: { // InputReadOnlyReset over an aligned 16 KB region
+            LocalAddr base = addr / (16 * 1024) * (16 * 1024);
+            ctx.inputReadOnlyReset(base, 16 * 1024,
+                                   /*reencrypt=*/true);
+            break;
+          }
+          default: { // read + verify
+            if (reference.empty())
+                break;
+            auto it = reference.lower_bound(addr);
+            if (it == reference.end())
+                it = reference.begin();
+            auto r = ctx.deviceRead(it->first);
+            ASSERT_EQ(r.status, VerifyStatus::Ok)
+                << "step " << step << " addr " << it->first;
+            ASSERT_EQ(r.data, it->second)
+                << "step " << step << " addr " << it->first;
+            break;
+          }
+        }
+    }
+
+    // Full final sweep: every written block reads back exactly.
+    for (const auto &[addr, plain] : reference) {
+        auto r = ctx.deviceRead(addr);
+        ASSERT_EQ(r.status, VerifyStatus::Ok) << "addr " << addr;
+        ASSERT_EQ(r.data, plain) << "addr " << addr;
+    }
+}
+
+TEST_P(FunctionalFuzz, RandomAttacksAlwaysDetected)
+{
+    Rng rng(GetParam() ^ 0xA77AC4);
+    SecureMemoryContext ctx(layoutParams(), GetParam());
+
+    // Populate a mixed read-only / writable state.
+    std::vector<LocalAddr> addrs;
+    for (int i = 0; i < 256; ++i) {
+        LocalAddr addr = rng.below(kBlocks) * 128;
+        ctx.hostWrite(addr, randomBlock(rng), rng.chance(0.5));
+        if (rng.chance(0.3))
+            ctx.deviceWrite(addr, randomBlock(rng));
+        addrs.push_back(addr);
+    }
+
+    int detected = 0, attacks = 0;
+    for (int trial = 0; trial < 128; ++trial) {
+        LocalAddr victim = addrs[rng.below(addrs.size())];
+        ASSERT_EQ(ctx.deviceRead(victim).status, VerifyStatus::Ok);
+
+        ++attacks;
+        switch (rng.below(3)) {
+          case 0: // flip a random ciphertext bit
+            ctx.memory().corruptByte(victim + rng.below(128),
+                                     static_cast<std::uint8_t>(
+                                         1u << rng.below(8)));
+            break;
+          case 1: // corrupt the stored MAC
+            ctx.macStore().corruptBlockMac(victim, 1ull
+                                                       << rng.below(64));
+            break;
+          case 2: { // splice with another block's ciphertext
+            LocalAddr other = addrs[rng.below(addrs.size())];
+            if (other == victim) {
+                ctx.memory().corruptByte(victim);
+                break;
+            }
+            ctx.memory().writeBlock(victim,
+                                    ctx.memory().readBlock(other));
+            break;
+          }
+        }
+        auto r = ctx.deviceRead(victim);
+        detected += (r.status != VerifyStatus::Ok);
+
+        // Heal the victim for the next round.
+        ctx.deviceWrite(victim, randomBlock(rng));
+        ASSERT_EQ(ctx.deviceRead(victim).status, VerifyStatus::Ok);
+    }
+    EXPECT_EQ(detected, attacks) << "an attack slipped through";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FunctionalFuzz,
+                         ::testing::Values(1ull, 42ull, 1234ull,
+                                           0xDEADBEEFull));

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * GPU-simulator integration tests: end-to-end runs of micro-workloads
+ * under every scheme, detector integration, victim cache, profiling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gpu/presets.hh"
+#include "gpu/simulator.hh"
+#include "schemes/schemes.hh"
+
+using namespace shmgpu;
+using namespace shmgpu::gpu;
+
+namespace
+{
+
+GpuParams
+quickParams()
+{
+    GpuParams p;
+    p.maxCyclesPerKernel = 40000;
+    return p;
+}
+
+RunMetrics
+runScheme(schemes::Scheme s, const workload::WorkloadSpec &w,
+          GpuParams gp = quickParams())
+{
+    GpuSimulator sim(gp, schemes::makeMeeParams(s), w);
+    return sim.run();
+}
+
+} // namespace
+
+TEST(GpuSimulator, BaselineMakesForwardProgress)
+{
+    auto w = workload::makeStreamingMicro(4 << 20, 2048);
+    RunMetrics m = runScheme(schemes::Scheme::Baseline, w);
+    EXPECT_GT(m.cycles, 0u);
+    EXPECT_GT(m.instructions, 100000u);
+    EXPECT_GT(m.ipc, 1.0);
+    EXPECT_EQ(m.metadataBytes(), 0u) << "baseline moves no metadata";
+    EXPECT_GT(m.bytesData, 0u);
+}
+
+TEST(GpuSimulator, DeterministicRuns)
+{
+    auto w = workload::makeMixedMicro();
+    RunMetrics a = runScheme(schemes::Scheme::Shm, w);
+    RunMetrics b = runScheme(schemes::Scheme::Shm, w);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.bytesData, b.bytesData);
+    EXPECT_EQ(a.metadataBytes(), b.metadataBytes());
+}
+
+TEST(GpuSimulator, SecureSchemesMoveMetadata)
+{
+    auto w = workload::makeStreamingMicro(4 << 20, 2048);
+    for (auto s : {schemes::Scheme::Naive, schemes::Scheme::Pssm,
+                   schemes::Scheme::Shm}) {
+        RunMetrics m = runScheme(s, w);
+        EXPECT_GT(m.metadataBytes(), 0u) << schemes::schemeName(s);
+    }
+}
+
+TEST(GpuSimulator, SchemeOrderingOnStreamingWorkload)
+{
+    // The paper's headline ordering: Naive < Common_ctr < PSSM < SHM
+    // in IPC (all below baseline).
+    auto w = workload::makeStreamingMicro(8 << 20, 4096);
+    double base = runScheme(schemes::Scheme::Baseline, w).ipc;
+    double naive = runScheme(schemes::Scheme::Naive, w).ipc;
+    double cctr = runScheme(schemes::Scheme::CommonCtr, w).ipc;
+    double pssm = runScheme(schemes::Scheme::Pssm, w).ipc;
+    double shm = runScheme(schemes::Scheme::Shm, w).ipc;
+
+    EXPECT_LT(naive, cctr);
+    EXPECT_LT(cctr, pssm);
+    EXPECT_LT(pssm, shm);
+    EXPECT_LE(shm, base * 1.001);
+    EXPECT_GT(shm, base * 0.9) << "SHM should be within 10% of baseline";
+}
+
+TEST(GpuSimulator, ShmBandwidthOverheadIsSmallOnStreams)
+{
+    auto w = workload::makeStreamingMicro(8 << 20, 4096);
+    RunMetrics m = runScheme(schemes::Scheme::Shm, w);
+    EXPECT_LT(m.metadataOverhead(), 0.10);
+    RunMetrics naive = runScheme(schemes::Scheme::Naive, w);
+    EXPECT_GT(naive.metadataOverhead(), 0.5);
+}
+
+TEST(GpuSimulator, SharedCounterServesReadOnlyStreams)
+{
+    auto w = workload::makeStreamingMicro(4 << 20, 2048);
+    RunMetrics m = runScheme(schemes::Scheme::Shm, w);
+    EXPECT_GT(m.sharedCtrReads, 0.0);
+    EXPECT_GT(m.chunkMacAccesses, m.blockMacAccesses);
+}
+
+TEST(GpuSimulator, RandomWorkloadDevolvesToBlockMacs)
+{
+    auto w = workload::makeRandomMicro(4 << 20, 2048);
+    RunMetrics m = runScheme(schemes::Scheme::Shm, w);
+    EXPECT_GT(m.blockMacAccesses, 0.0);
+}
+
+TEST(GpuSimulator, MultiKernelHostCopiesRearmReadOnly)
+{
+    auto w = workload::makeMultiKernelMicro();
+    RunMetrics m = runScheme(schemes::Scheme::Shm, w);
+    // Kernel 1 reads 'in' (read-only), writes 'mid' (transitions);
+    // kernel 2 reads 'mid'; kernel 3 re-reads refreshed 'in'.
+    EXPECT_GT(m.sharedCtrReads, 0.0);
+    EXPECT_GT(m.roTransitions, 0.0);
+}
+
+TEST(GpuSimulator, ProfileCollectionSeesTraffic)
+{
+    auto w = workload::makeMixedMicro();
+    detect::AccessProfile profile(12);
+    GpuSimulator sim(quickParams(),
+                     schemes::makeMeeParams(schemes::Scheme::Baseline),
+                     w);
+    sim.collectProfile(&profile);
+    sim.run();
+
+    int chunks = 0;
+    for (PartitionId p = 0; p < 12; ++p)
+        profile.forEachChunk(p, [&](std::uint64_t, bool) { ++chunks; });
+    EXPECT_GT(chunks, 0);
+}
+
+TEST(GpuSimulator, UpperBoundPrimingWorks)
+{
+    auto w = workload::makeRandomMicro(4 << 20, 2048);
+    detect::AccessProfile profile(12);
+    {
+        GpuSimulator pass1(
+            quickParams(),
+            schemes::makeMeeParams(schemes::Scheme::Baseline), w);
+        pass1.collectProfile(&profile);
+        pass1.run();
+    }
+    GpuSimulator sim(quickParams(),
+                     schemes::makeMeeParams(
+                         schemes::Scheme::ShmUpperBound),
+                     w);
+    sim.primeFromProfile(profile);
+    sim.attributeAgainst(&profile);
+    RunMetrics m = sim.run();
+    // Primed predictors on a random workload: block MACs dominate.
+    EXPECT_GT(m.blockMacAccesses, m.chunkMacAccesses);
+    // And the accuracy tallies are populated.
+    double total = m.strCorrect + m.strMpInit + m.strMpAliasing +
+                   m.strMpRuntimeRo + m.strMpRuntimeNonRo;
+    EXPECT_GT(total, 0.0);
+    EXPECT_GT(m.strCorrect / total, 0.9);
+}
+
+TEST(GpuSimulator, VictimCacheEngagesOnThrashingL2)
+{
+    // The streaming micro has ~100% L2 read miss rate, which arms the
+    // victim-cache monitor.
+    auto w = workload::makeStreamingMicro(8 << 20, 4096);
+    RunMetrics m = runScheme(schemes::Scheme::ShmVL2, w);
+    EXPECT_GT(m.victimInserts + m.victimHits, 0.0);
+}
+
+TEST(GpuSimulator, BandwidthUtilizationIsSane)
+{
+    auto w = workload::makeStreamingMicro(8 << 20, 4096);
+    RunMetrics m = runScheme(schemes::Scheme::Baseline, w);
+    EXPECT_GT(m.bandwidthUtilization, 0.5) << "stream should saturate";
+    EXPECT_LE(m.bandwidthUtilization, 1.05);
+}
+
+TEST(GpuSimulator, EnergyActivityPopulated)
+{
+    auto w = workload::makeMixedMicro();
+    RunMetrics m = runScheme(schemes::Scheme::Shm, w);
+    EXPECT_EQ(m.energy.cycles, m.cycles);
+    EXPECT_EQ(m.energy.instructions, m.instructions);
+    EXPECT_GT(m.energy.dramBytes, 0u);
+    EXPECT_GT(m.energy.mdcAccesses, 0u);
+}
+
+TEST(GpuSimulator, OversizedWorkloadIsFatal)
+{
+    workload::WorkloadSpec w = workload::makeStreamingMicro(1 << 20, 16);
+    w.buffers[0].bytes = 1ull << 40;
+    GpuParams gp = quickParams();
+    EXPECT_DEATH(
+        { GpuSimulator sim(gp, schemes::makeMeeParams(
+                                   schemes::Scheme::Shm), w); },
+        "exceeds the protected space");
+}
+
+TEST(GpuSimulator, StatsTreeDumps)
+{
+    auto w = workload::makeMixedMicro();
+    GpuSimulator sim(quickParams(),
+                     schemes::makeMeeParams(schemes::Scheme::Shm), w);
+    sim.run();
+    std::ostringstream os;
+    sim.statsRoot().dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("sim.cycles"), std::string::npos);
+    EXPECT_NE(out.find("p0.mee.reads"), std::string::npos);
+    EXPECT_NE(out.find("dram_p0.bytes"), std::string::npos);
+}
+
+TEST(Interconnect, LatencyAndSerialization)
+{
+    InterconnectParams p;
+    p.latency = 20;
+    p.bytesPerCycle = 32;
+    Interconnect icnt(p, 2);
+
+    // One 32 B reply: 1 serialization cycle + 20 latency.
+    EXPECT_EQ(icnt.reply(0, 32, 100), 100u + 1 + 20);
+    // Directions and partitions are independent links.
+    EXPECT_EQ(icnt.reply(1, 32, 100), 100u + 1 + 20);
+    EXPECT_EQ(icnt.request(0, 16, 100), 100u + 1 + 20);
+    // Back-to-back replies on one link serialize.
+    Cycle first = icnt.reply(0, 128, 200);
+    Cycle second = icnt.reply(0, 128, 200);
+    EXPECT_EQ(first, 200u + 4 + 20);
+    EXPECT_EQ(second, first + 4);
+}
+
+TEST(Interconnect, ReplyContentionThrottlesHotPartition)
+{
+    InterconnectParams p;
+    p.latency = 20;
+    p.bytesPerCycle = 4; // artificially narrow link
+    Interconnect icnt(p, 2);
+
+    Cycle last = 0;
+    for (int i = 0; i < 16; ++i)
+        last = icnt.reply(0, 32, 0);
+    // 16 x 8 serialization cycles queue up on the narrow link.
+    EXPECT_GE(last, 16u * 8);
+    // The other partition's link is idle.
+    EXPECT_EQ(icnt.reply(1, 32, 0), 0u + 8 + 20);
+}
+
+TEST(GpuPresets, NamedConfigsAreConsistent)
+{
+    GpuParams turing = presetByName("turing");
+    EXPECT_EQ(turing.numSms, 30u);
+    EXPECT_EQ(turing.numPartitions, 12u);
+
+    GpuParams big = presetByName("big");
+    EXPECT_GT(big.numSms, turing.numSms);
+    EXPECT_GT(big.l2BankBytes, turing.l2BankBytes);
+
+    GpuParams tiny = presetByName("test");
+    EXPECT_LT(tiny.numSms, turing.numSms);
+    EXPECT_DEATH(presetByName("hopper"), "unknown GPU preset");
+    EXPECT_EQ(presetNames().size(), 3u);
+}
+
+TEST(GpuPresets, TestConfigRunsQuickly)
+{
+    auto w = workload::makeMixedMicro();
+    GpuSimulator sim(presetByName("test"),
+                     schemes::makeMeeParams(schemes::Scheme::Shm), w);
+    RunMetrics m = sim.run();
+    EXPECT_GT(m.instructions, 0u);
+    EXPECT_GT(m.metadataBytes(), 0u);
+}
+
+TEST(Interconnect, StatsRegistration)
+{
+    stats::StatGroup root(nullptr, "root");
+    Interconnect icnt(InterconnectParams{}, 2);
+    icnt.regStats(&root);
+    icnt.request(0, 16, 0);
+    icnt.reply(1, 32, 0);
+    bool found = false;
+    EXPECT_EQ(root.lookup("icnt.requests", &found), 1);
+    EXPECT_TRUE(found);
+    EXPECT_EQ(root.lookup("icnt.reply_bytes", &found), 32);
+}

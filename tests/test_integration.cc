@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Cross-scheme end-to-end invariants, parameterized over every
+ * Table VIII design: determinism, metadata accounting, and the
+ * ordering relations the paper's evaluation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "gpu/simulator.hh"
+
+using namespace shmgpu;
+
+namespace
+{
+
+gpu::GpuParams
+quickParams()
+{
+    gpu::GpuParams p;
+    p.maxCyclesPerKernel = 25000;
+    return p;
+}
+
+} // namespace
+
+class SchemeInvariants
+    : public ::testing::TestWithParam<schemes::Scheme>
+{
+};
+
+TEST_P(SchemeInvariants, RunsAndStaysBelowBaseline)
+{
+    core::Experiment exp(quickParams());
+    auto w = workload::makeMixedMicro();
+    auto r = exp.run(GetParam(), w);
+    EXPECT_GT(r.normalizedIpc, 0.0);
+    EXPECT_LE(r.normalizedIpc, 1.01)
+        << "secure memory cannot beat the no-security baseline";
+    EXPECT_GT(r.metrics.metadataBytes(), 0u);
+    EXPECT_GE(r.normalizedEnergyPerInstr, 0.99);
+}
+
+TEST_P(SchemeInvariants, Deterministic)
+{
+    core::Experiment exp(quickParams());
+    auto w = workload::makeMixedMicro();
+    auto a = exp.run(GetParam(), w);
+    auto b = exp.run(GetParam(), w);
+    EXPECT_EQ(a.metrics.cycles, b.metrics.cycles);
+    EXPECT_EQ(a.metrics.metadataBytes(), b.metrics.metadataBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeInvariants,
+    ::testing::ValuesIn(schemes::allSchemes()),
+    [](const ::testing::TestParamInfo<schemes::Scheme> &info) {
+        std::string name = schemes::schemeName(info.param);
+        for (char &c : name)
+            if (c == '+' || c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(IntegrationOrdering, ShmNeverBelowPssmOnStreams)
+{
+    core::Experiment exp(quickParams());
+    auto w = workload::makeStreamingMicro(8 << 20, 4096);
+    auto pssm = exp.run(schemes::Scheme::Pssm, w);
+    auto shm = exp.run(schemes::Scheme::Shm, w);
+    EXPECT_GE(shm.normalizedIpc, pssm.normalizedIpc * 0.995);
+}
+
+TEST(IntegrationOrdering, UpperBoundDominatesShm)
+{
+    core::Experiment exp(quickParams());
+    for (auto make : {workload::makeStreamingMicro(4 << 20, 2048),
+                      workload::makeRandomMicro(4 << 20, 2048)}) {
+        auto shm = exp.run(schemes::Scheme::Shm, make);
+        auto ub = exp.run(schemes::Scheme::ShmUpperBound, make);
+        EXPECT_GE(ub.normalizedIpc, shm.normalizedIpc * 0.97)
+            << make.name;
+    }
+}
+
+TEST(IntegrationOrdering, LocalAddressingBeatsPhysical)
+{
+    core::Experiment exp(quickParams());
+    auto w = workload::makeStreamingMicro(8 << 20, 4096);
+    auto naive = exp.run(schemes::Scheme::Naive, w);
+    auto pssm = exp.run(schemes::Scheme::Pssm, w);
+    EXPECT_GT(pssm.normalizedIpc, naive.normalizedIpc);
+    EXPECT_LT(pssm.metrics.metadataBytes(),
+              naive.metrics.metadataBytes());
+}
+
+TEST(IntegrationAccounting, MetadataSplitsSumToTotal)
+{
+    core::Experiment exp(quickParams());
+    auto w = workload::makeMixedMicro();
+    auto r = exp.run(schemes::Scheme::Shm, w);
+    EXPECT_EQ(r.metrics.metadataBytes(),
+              r.metrics.bytesCounter + r.metrics.bytesMac +
+                  r.metrics.bytesBmt + r.metrics.bytesExtra);
+    EXPECT_NEAR(r.metrics.metadataOverhead(),
+                static_cast<double>(r.metrics.metadataBytes()) /
+                    static_cast<double>(r.metrics.bytesData),
+                1e-12);
+}
+
+TEST(IntegrationAccounting, BaselineEnergyEqualsUnity)
+{
+    core::Experiment exp(quickParams());
+    auto w = workload::makeMixedMicro();
+    const auto &base = exp.baselineFor(w);
+    gpu::EnergyParams ep;
+    double epi = gpu::energyPerInstruction(ep, base.energy);
+    EXPECT_GT(epi, 0.0);
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Key-tuple generation tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/keygen.hh"
+
+using namespace shmgpu::crypto;
+
+TEST(KeyGen, DeterministicPerContext)
+{
+    KeyTuple a = generateKeys(42);
+    KeyTuple b = generateKeys(42);
+    EXPECT_EQ(a.encryptionKey, b.encryptionKey);
+    EXPECT_EQ(a.macKey, b.macKey);
+    EXPECT_EQ(a.treeKey, b.treeKey);
+}
+
+TEST(KeyGen, DistinctAcrossContexts)
+{
+    KeyTuple a = generateKeys(1);
+    KeyTuple b = generateKeys(2);
+    EXPECT_NE(a.encryptionKey, b.encryptionKey);
+    EXPECT_NE(a.macKey, b.macKey);
+    EXPECT_NE(a.treeKey, b.treeKey);
+}
+
+TEST(KeyGen, TupleMembersDiffer)
+{
+    // K1, K2, K3 protect different mechanisms and must be unrelated.
+    KeyTuple k = generateKeys(7);
+    EXPECT_FALSE(k.macKey == k.treeKey);
+    std::uint64_t enc_lo = 0;
+    for (int i = 7; i >= 0; --i)
+        enc_lo = (enc_lo << 8) | k.encryptionKey[i];
+    EXPECT_NE(enc_lo, k.macKey.k0);
+}
+
+TEST(KeyGen, KeysAreNotDegenerate)
+{
+    KeyTuple k = generateKeys(1234);
+    bool all_zero = true;
+    for (auto b : k.encryptionKey)
+        all_zero &= (b == 0);
+    EXPECT_FALSE(all_zero);
+    EXPECT_NE(k.macKey.k0, 0u);
+    EXPECT_NE(k.treeKey.k0, 0u);
+}

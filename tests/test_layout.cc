@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Metadata-layout geometry tests: index math, region disjointness,
+ * BMT shape, space accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "meta/layout.hh"
+
+using namespace shmgpu;
+using namespace shmgpu::meta;
+
+namespace
+{
+
+LayoutParams
+smallParams(std::uint64_t data_bytes = 1 << 20)
+{
+    LayoutParams p;
+    p.dataBytes = data_bytes;
+    return p;
+}
+
+} // namespace
+
+TEST(Layout, IndexHelpers)
+{
+    MetadataLayout l(smallParams());
+    EXPECT_EQ(l.blockIndex(0), 0u);
+    EXPECT_EQ(l.blockIndex(127), 0u);
+    EXPECT_EQ(l.blockIndex(128), 1u);
+    EXPECT_EQ(l.chunkIndex(4095), 0u);
+    EXPECT_EQ(l.chunkIndex(4096), 1u);
+    EXPECT_EQ(l.counterBlockIndex(8 * 1024 - 1), 0u);
+    EXPECT_EQ(l.counterBlockIndex(8 * 1024), 1u);
+    EXPECT_EQ(l.minorSlot(0), 0u);
+    EXPECT_EQ(l.minorSlot(128), 1u);
+    EXPECT_EQ(l.minorSlot(64 * 128), 0u);
+}
+
+TEST(Layout, ElementCounts)
+{
+    MetadataLayout l(smallParams(1 << 20));
+    EXPECT_EQ(l.numBlocks(), (1u << 20) / 128);
+    EXPECT_EQ(l.numChunks(), (1u << 20) / 4096);
+    EXPECT_EQ(l.numCounterBlocks(), (1u << 20) / (8 * 1024));
+}
+
+TEST(Layout, MetadataRegionsAreDisjointAndAboveData)
+{
+    MetadataLayout l(smallParams());
+    LocalAddr data_end = 1 << 20;
+
+    LocalAddr ctr0 = l.counterAddr(0);
+    LocalAddr mac0 = l.blockMacAddr(0);
+    LocalAddr cmac0 = l.chunkMacAddr(0);
+    EXPECT_GE(ctr0, data_end);
+    EXPECT_GE(mac0, data_end);
+    EXPECT_GE(cmac0, data_end);
+
+    // Last element of each region stays at or below the next base.
+    LocalAddr last_data = data_end - 128;
+    EXPECT_LE(l.counterAddr(last_data) + 128, mac0);
+    EXPECT_LE(l.blockMacAddr(last_data) + 8, cmac0);
+    EXPECT_LE(l.chunkMacAddr(last_data) + 8, l.bmtNodeAddr(0, 0));
+}
+
+TEST(Layout, NeighbouringBlocksShareCounterBlock)
+{
+    MetadataLayout l(smallParams());
+    EXPECT_EQ(l.counterAddr(0), l.counterAddr(63 * 128));
+    EXPECT_NE(l.counterAddr(0), l.counterAddr(64 * 128));
+}
+
+TEST(Layout, MacAddressesAreDense)
+{
+    MetadataLayout l(smallParams());
+    EXPECT_EQ(l.blockMacAddr(128) - l.blockMacAddr(0), 8u);
+    EXPECT_EQ(l.chunkMacAddr(4096) - l.chunkMacAddr(0), 8u);
+}
+
+TEST(Layout, BmtShape)
+{
+    // 1 MiB data -> 128 counter blocks -> levels of 8, 1.
+    MetadataLayout l(smallParams());
+    ASSERT_EQ(l.bmtLevels(), 2u);
+    EXPECT_EQ(l.bmtNodesAt(0), 8u);
+    EXPECT_EQ(l.bmtNodesAt(1), 1u);
+}
+
+TEST(Layout, BmtPathWalksToSingleRoot)
+{
+    MetadataLayout l(smallParams(64 << 20)); // deeper tree
+    std::uint64_t leaves = l.numCounterBlocks();
+    auto path_first = l.bmtPath(0);
+    auto path_last = l.bmtPath(leaves - 1);
+    ASSERT_EQ(path_first.size(), l.bmtLevels());
+    // Both paths converge on the same top node.
+    EXPECT_EQ(path_first.back(), path_last.back());
+    // But differ at the lowest level.
+    EXPECT_NE(path_first.front(), path_last.front());
+}
+
+TEST(Layout, MetadataOverheadIsReasonable)
+{
+    // Counters 1/64, MACs 1/16, chunk MACs 1/512, BMT ~1/1000: total
+    // well under 10%.
+    MetadataLayout l(smallParams(64 << 20));
+    double overhead = static_cast<double>(l.metadataBytes()) /
+                      static_cast<double>(64 << 20);
+    EXPECT_GT(overhead, 0.07);
+    EXPECT_LT(overhead, 0.10);
+}
+
+TEST(Layout, OutOfRangePanics)
+{
+    MetadataLayout l(smallParams());
+    EXPECT_DEATH(l.blockIndex(1 << 20), "outside");
+    EXPECT_DEATH(l.bmtNodeAddr(99, 0), "out of range");
+}
+
+// Geometry sweep: address math must stay consistent for any size.
+class LayoutSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(LayoutSweep, EveryBlockMapsIntoItsRegions)
+{
+    MetadataLayout l(smallParams(GetParam()));
+    for (std::uint64_t b = 0; b < l.numBlocks(); b += 37) {
+        LocalAddr addr = b * 128;
+        EXPECT_EQ(l.blockIndex(addr), b);
+        LocalAddr mac = l.blockMacAddr(addr);
+        EXPECT_EQ((mac - l.blockMacAddr(0)) / 8, b);
+        std::uint64_t cb = l.counterBlockIndex(addr);
+        EXPECT_EQ(cb, b / 64);
+        auto path = l.bmtPath(cb);
+        EXPECT_EQ(path.size(), l.bmtLevels());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LayoutSweep,
+                         ::testing::Values(1u << 17, 1u << 20, 3u << 20,
+                                           16u << 20, 320u << 20));
+
+// Geometry variants: regions stay disjoint for any (chunk, MAC, arity)
+// combination the knobs allow.
+class LayoutVariants
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>>
+{
+};
+
+TEST_P(LayoutVariants, RegionsDisjointUnderAnyGeometry)
+{
+    auto [chunk, mac, arity] = GetParam();
+    LayoutParams p;
+    p.dataBytes = 8 << 20;
+    p.chunkBytes = chunk;
+    p.macBytes = mac;
+    p.bmtArity = arity;
+    MetadataLayout l(p);
+
+    LocalAddr last = p.dataBytes - 128;
+    // Ordered, non-overlapping regions.
+    EXPECT_LE(l.counterAddr(last) + 128, l.blockMacAddr(0));
+    EXPECT_LE(l.blockMacAddr(last) + mac, l.chunkMacAddr(0));
+    EXPECT_LE(l.chunkMacAddr(last) + mac, l.bmtNodeAddr(0, 0));
+    // The BMT shrinks by the arity per level and ends at one node.
+    for (unsigned level = 1; level < l.bmtLevels(); ++level)
+        EXPECT_LE(l.bmtNodesAt(level),
+                  (l.bmtNodesAt(level - 1) + arity - 1) / arity);
+    EXPECT_EQ(l.bmtNodesAt(l.bmtLevels() - 1), 1u);
+    // Every address inverts consistently.
+    MetadataLayout::BmtNodeId id = l.bmtNodeOf(l.bmtNodeAddr(0, 3));
+    EXPECT_TRUE(id.valid);
+    EXPECT_EQ(id.level, 0u);
+    EXPECT_EQ(id.index, 3u);
+    EXPECT_FALSE(l.bmtNodeOf(0).valid) << "data address is not a node";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, LayoutVariants,
+    ::testing::Values(std::make_tuple(4096ull, 8u, 16u),
+                      std::make_tuple(4096ull, 4u, 16u),
+                      std::make_tuple(2048ull, 8u, 8u),
+                      std::make_tuple(8192ull, 8u, 32u),
+                      std::make_tuple(1024ull, 4u, 8u)));

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * MAC-store tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "meta/mac_store.hh"
+
+using namespace shmgpu;
+using namespace shmgpu::meta;
+
+namespace
+{
+
+class MacStoreTest : public ::testing::Test
+{
+  protected:
+    MacStoreTest() : layout(makeParams()), store(layout) {}
+
+    static LayoutParams
+    makeParams()
+    {
+        LayoutParams p;
+        p.dataBytes = 1 << 20;
+        return p;
+    }
+
+    MetadataLayout layout;
+    MacStore store;
+};
+
+} // namespace
+
+TEST_F(MacStoreTest, UnsetMacsAreEmpty)
+{
+    EXPECT_FALSE(store.blockMac(0).has_value());
+    EXPECT_FALSE(store.chunkMac(0).has_value());
+}
+
+TEST_F(MacStoreTest, BlockMacRoundTrip)
+{
+    store.setBlockMac(0x100, 0xABCD);
+    // Any address within the block resolves to the same MAC.
+    EXPECT_EQ(store.blockMac(0x17F), 0xABCD);
+    EXPECT_FALSE(store.blockMac(0x200).has_value());
+    EXPECT_EQ(store.blockMacsStored(), 1u);
+}
+
+TEST_F(MacStoreTest, ChunkMacRoundTrip)
+{
+    store.setChunkMac(0x1000, 0x1234);
+    EXPECT_EQ(store.chunkMac(0x1FFF), 0x1234);
+    EXPECT_FALSE(store.chunkMac(0x2000).has_value());
+}
+
+TEST_F(MacStoreTest, CorruptionFlipsBits)
+{
+    store.setBlockMac(0, 0xFF);
+    store.corruptBlockMac(0, 0x0F);
+    EXPECT_EQ(store.blockMac(0), 0xF0);
+
+    store.setChunkMac(0, 0xFF);
+    store.corruptChunkMac(0, 0xFF);
+    EXPECT_EQ(store.chunkMac(0), 0x00);
+}
+
+TEST_F(MacStoreTest, CorruptingUnsetMacPanics)
+{
+    EXPECT_DEATH(store.corruptBlockMac(0, 1), "never stored");
+    EXPECT_DEATH(store.corruptChunkMac(0, 1), "never stored");
+}

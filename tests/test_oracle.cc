@@ -1,0 +1,145 @@
+/**
+ * @file
+ * AccessProfile (ground-truth oracle) tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "detect/oracle.hh"
+
+using namespace shmgpu;
+using namespace shmgpu::detect;
+
+TEST(AccessProfile, RegionsDefaultToReadOnly)
+{
+    AccessProfile p(2);
+    EXPECT_TRUE(p.regionReadOnly(0, 0));
+    EXPECT_TRUE(p.regionReadOnly(1, 123456));
+}
+
+TEST(AccessProfile, WritesMarkRegions)
+{
+    AccessProfile p(2);
+    p.recordAccess(0, 100, true, 0);
+    EXPECT_FALSE(p.regionReadOnly(0, 0));
+    EXPECT_FALSE(p.regionReadOnly(0, 16 * 1024 - 1));
+    EXPECT_TRUE(p.regionReadOnly(0, 16 * 1024));
+    EXPECT_TRUE(p.regionReadOnly(1, 0)) << "partitions are separate";
+}
+
+TEST(AccessProfile, ReadsDoNotMarkRegions)
+{
+    AccessProfile p(1);
+    p.recordAccess(0, 0, false, 0);
+    EXPECT_TRUE(p.regionReadOnly(0, 0));
+}
+
+TEST(AccessProfile, StreamedChunkClassifiedStreaming)
+{
+    AccessProfile p(1);
+    Cycle now = 0;
+    for (int s = 0; s < 128; ++s)
+        p.recordAccess(0, static_cast<LocalAddr>(s) * 32, false, now++);
+    p.finalize(now);
+    EXPECT_TRUE(p.chunkStreaming(0, 0));
+}
+
+TEST(AccessProfile, SparseChunkClassifiedRandom)
+{
+    AccessProfile p(1);
+    p.recordAccess(0, 0, false, 0);
+    p.recordAccess(0, 17 * 128, false, 1);
+    p.finalize(10000);
+    EXPECT_FALSE(p.chunkStreaming(0, 0));
+}
+
+TEST(AccessProfile, BlockGranularSweepIsStreaming)
+{
+    // One access per block (write-back style) still counts as full
+    // coverage for the oracle.
+    AccessProfile p(1);
+    Cycle now = 0;
+    for (int b = 0; b < 32; ++b)
+        p.recordAccess(0, static_cast<LocalAddr>(b) * 128, true, now++);
+    p.finalize(now);
+    EXPECT_TRUE(p.chunkStreaming(0, 0));
+}
+
+TEST(AccessProfile, MajorityVoteAcrossPhases)
+{
+    // A chunk streamed twice and random-probed once stays streaming.
+    AccessProfile p(1);
+    Cycle now = 0;
+    for (int pass = 0; pass < 2; ++pass)
+        for (int s = 0; s < 128; ++s)
+            p.recordAccess(0, static_cast<LocalAddr>(s) * 32, false,
+                           now++);
+    // Sparse probe, expired by finalize.
+    p.recordAccess(0, 5 * 128, false, now);
+    p.finalize(now + 10000);
+    EXPECT_TRUE(p.chunkStreaming(0, 0));
+}
+
+TEST(AccessProfile, UnprofiledChunksKeepEagerDefault)
+{
+    AccessProfile p(1);
+    EXPECT_TRUE(p.chunkStreaming(0, 999 * 4096));
+}
+
+TEST(AccessProfile, ForEachChunkVisitsAll)
+{
+    AccessProfile p(1);
+    Cycle now = 0;
+    for (int s = 0; s < 128; ++s)
+        p.recordAccess(0, static_cast<LocalAddr>(s) * 32, false, now++);
+    p.recordAccess(0, 10 * 4096, false, now);
+    p.finalize(now + 10000);
+
+    int chunks = 0;
+    int streaming = 0;
+    p.forEachChunk(0, [&](std::uint64_t chunk, bool is_streaming) {
+        ++chunks;
+        if (chunk == 0) {
+            EXPECT_TRUE(is_streaming);
+        }
+        streaming += is_streaming;
+    });
+    EXPECT_EQ(chunks, 2);
+    EXPECT_EQ(streaming, 1);
+}
+
+TEST(AccessProfile, ForEachWrittenRegion)
+{
+    AccessProfile p(1);
+    p.recordAccess(0, 0, true, 0);
+    p.recordAccess(0, 40 * 1024, true, 1);
+    p.recordAccess(0, 90 * 1024, false, 2);
+
+    std::vector<std::uint64_t> regions;
+    p.forEachWrittenRegion(0, [&](std::uint64_t r) {
+        regions.push_back(r);
+    });
+    std::sort(regions.begin(), regions.end());
+    EXPECT_EQ(regions, (std::vector<std::uint64_t>{0, 2}));
+}
+
+TEST(AccessProfile, AccessRatiosAggregateAcrossPartitions)
+{
+    AccessProfile p(2);
+    Cycle now = 0;
+    // Partition 0: a fully streamed, read-only chunk (128 accesses).
+    for (int s = 0; s < 128; ++s)
+        p.recordAccess(0, static_cast<LocalAddr>(s) * 32, false, now++);
+    // Partition 1: 64 sparse accesses incl. writes (random, written).
+    for (int i = 0; i < 64; ++i)
+        p.recordAccess(1, (i % 3) * 128, true, now++);
+    p.finalize(now + 10000);
+
+    auto r = p.accessRatios();
+    EXPECT_EQ(r.totalAccesses, 192u);
+    EXPECT_NEAR(r.streaming, 128.0 / 192.0, 1e-9);
+    EXPECT_NEAR(r.readOnly, 128.0 / 192.0, 1e-9);
+}

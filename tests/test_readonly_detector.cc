@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Read-only region detector tests (Section IV-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "detect/readonly.hh"
+
+using namespace shmgpu;
+using namespace shmgpu::detect;
+
+namespace
+{
+
+ReadOnlyDetectorParams
+params(std::uint32_t entries = 1024)
+{
+    ReadOnlyDetectorParams p;
+    p.entries = entries;
+    p.regionBytes = 16 * 1024;
+    return p;
+}
+
+} // namespace
+
+TEST(ReadOnlyDetector, DefaultsToNotReadOnly)
+{
+    ReadOnlyDetector d(params());
+    EXPECT_FALSE(d.isReadOnly(0));
+    EXPECT_EQ(d.causeFor(0), NotReadOnlyCause::NeverSet);
+}
+
+TEST(ReadOnlyDetector, HostCopyMarksCoveredRegions)
+{
+    ReadOnlyDetector d(params());
+    d.markInputRegion(16 * 1024, 32 * 1024); // regions 1 and 2
+    EXPECT_FALSE(d.isReadOnly(0));
+    EXPECT_TRUE(d.isReadOnly(16 * 1024));
+    EXPECT_TRUE(d.isReadOnly(47 * 1024));
+    EXPECT_FALSE(d.isReadOnly(48 * 1024));
+}
+
+TEST(ReadOnlyDetector, PartialRegionCopyMarksWholeRegion)
+{
+    ReadOnlyDetector d(params());
+    d.markInputRegion(100, 10); // tiny copy inside region 0
+    EXPECT_TRUE(d.isReadOnly(0));
+    EXPECT_TRUE(d.isReadOnly(16 * 1024 - 1));
+}
+
+TEST(ReadOnlyDetector, WriteTransitionsOnce)
+{
+    ReadOnlyDetector d(params());
+    d.markInputRegion(0, 16 * 1024);
+    EXPECT_TRUE(d.recordWrite(128)) << "first write transitions";
+    EXPECT_FALSE(d.isReadOnly(0));
+    EXPECT_FALSE(d.recordWrite(256)) << "already not-read-only";
+    EXPECT_EQ(d.causeFor(0), NotReadOnlyCause::WrittenSelf);
+}
+
+TEST(ReadOnlyDetector, TransitionIsOneWayUntilReset)
+{
+    ReadOnlyDetector d(params());
+    d.markInputRegion(0, 16 * 1024);
+    d.recordWrite(0);
+    EXPECT_FALSE(d.isReadOnly(0));
+    // The InputReadOnlyReset API re-arms it.
+    d.resetReadOnly(0, 16 * 1024);
+    EXPECT_TRUE(d.isReadOnly(0));
+}
+
+TEST(ReadOnlyDetector, AliasingOnlyLosesOpportunity)
+{
+    // Two regions sharing one bit: writing one miss-classifies the
+    // other as not-read-only — a performance loss, never a security
+    // hole.
+    ReadOnlyDetector d(params(4)); // tiny vector: heavy aliasing
+    std::uint64_t region_bytes = 16 * 1024;
+    LocalAddr a = 0;                       // region 0 -> bit 0
+    LocalAddr b = 4 * region_bytes;        // region 4 -> bit 0 too
+    d.markInputRegion(a, region_bytes);
+    EXPECT_TRUE(d.isReadOnly(b)) << "alias sees the same bit";
+    EXPECT_TRUE(d.recordWrite(b));
+    EXPECT_FALSE(d.isReadOnly(a)) << "alias write clears the bit";
+    EXPECT_EQ(d.causeFor(a), NotReadOnlyCause::WrittenAlias);
+    EXPECT_EQ(d.causeFor(b), NotReadOnlyCause::WrittenSelf);
+}
+
+TEST(ReadOnlyDetector, HardwareBitsMatchTableIX)
+{
+    ReadOnlyDetector d(params(1024));
+    EXPECT_EQ(d.hardwareBits(), 1024u); // 1024 x 1 bit = 128 B
+}
+
+TEST(ReadOnlyDetector, WriteToUnmarkedRegionIsNotATransition)
+{
+    ReadOnlyDetector d(params());
+    EXPECT_FALSE(d.recordWrite(0));
+    EXPECT_EQ(d.causeFor(0), NotReadOnlyCause::WrittenSelf);
+}
+
+TEST(ReadOnlyDetector, HintMarkingCoversUncopiedBuffers)
+{
+    // A programming-model declaration marks regions that never see an
+    // initializing memcpy.
+    ReadOnlyDetector d(params());
+    d.pinReadOnly(32 * 1024, 16 * 1024);
+    EXPECT_TRUE(d.isReadOnly(32 * 1024));
+    // Writes (own or aliasing) still clear the bit: a tagless vector
+    // cannot safely exempt declared regions.
+    EXPECT_TRUE(d.recordWrite(32 * 1024));
+    EXPECT_FALSE(d.isReadOnly(32 * 1024));
+}

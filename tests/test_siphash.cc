@@ -1,0 +1,105 @@
+/**
+ * @file
+ * SipHash-2-4 reference-vector and incremental-interface tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "crypto/siphash.hh"
+
+using namespace shmgpu::crypto;
+
+namespace
+{
+
+/** The reference key 000102...0f as two little-endian words. */
+SipKey
+referenceKey()
+{
+    return {0x0706050403020100ull, 0x0f0e0d0c0b0a0908ull};
+}
+
+} // namespace
+
+// First entries of the official SipHash-2-4 test-vector table
+// (Aumasson & Bernstein reference implementation, vectors_sip64):
+// input is 00, 01, 02, ... of increasing length.
+TEST(SipHash, ReferenceVectors)
+{
+    const std::uint64_t expected[] = {
+        0x726fdb47dd0e0e31ull, // len 0
+        0x74f839c593dc67fdull, // len 1
+        0x0d6c8009d9a94f5aull, // len 2
+        0x85676696d7fb7e2dull, // len 3
+        0xcf2794e0277187b7ull, // len 4
+        0x18765564cd99a68dull, // len 5
+        0xcbc9466e58fee3ceull, // len 6
+        0xab0200f58b01d137ull, // len 7
+        0x93f5f5799a932462ull, // len 8
+        0x9e0082df0ba9e4b0ull, // len 9
+    };
+    std::uint8_t data[16];
+    for (int i = 0; i < 16; ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+
+    for (std::size_t len = 0; len < std::size(expected); ++len)
+        EXPECT_EQ(siphash24(referenceKey(), data, len), expected[len])
+            << "length " << len;
+}
+
+TEST(SipHash, IncrementalMatchesOneShot)
+{
+    std::uint8_t data[40];
+    for (int i = 0; i < 40; ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7 + 1);
+
+    std::uint64_t oneshot = siphash24(referenceKey(), data, sizeof(data));
+
+    SipHasher h(referenceKey());
+    h.update(data, 3);
+    h.update(data + 3, 20);
+    h.update(data + 23, 17);
+    EXPECT_EQ(h.digest(), oneshot);
+}
+
+TEST(SipHash, UpdateU64MatchesBytes)
+{
+    std::uint64_t v = 0x1122334455667788ull;
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+
+    SipHasher a(referenceKey());
+    a.updateU64(v);
+    SipHasher b(referenceKey());
+    b.update(bytes, 8);
+    EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(SipHash, KeySeparation)
+{
+    std::uint8_t data[4] = {1, 2, 3, 4};
+    SipKey k1{1, 2};
+    SipKey k2{1, 3};
+    EXPECT_NE(siphash24(k1, data, 4), siphash24(k2, data, 4));
+}
+
+TEST(SipHash, LengthSeparation)
+{
+    // Same prefix, different lengths => different tags (length is
+    // folded into the final block).
+    std::uint8_t data[9] = {};
+    EXPECT_NE(siphash24(referenceKey(), data, 8),
+              siphash24(referenceKey(), data, 9));
+}
+
+TEST(SipHash, ReuseAfterDigestPanics)
+{
+    SipHasher h(referenceKey());
+    h.updateU64(1);
+    h.digest();
+    EXPECT_DEATH(h.updateU64(2), "reused");
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Statistics framework tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/stats.hh"
+
+using namespace shmgpu::stats;
+
+TEST(Stats, ScalarAccumulates)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0);
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_EQ(s.value(), 0);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    Histogram h;
+    h.init(0, 10, 5);
+    h.sample(0.5);  // bucket 0
+    h.sample(9.5);  // bucket 4
+    h.sample(-3);   // clamps to bucket 0
+    h.sample(40);   // clamps to bucket 4
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_EQ(h.data()[0], 2u);
+    EXPECT_EQ(h.data()[4], 2u);
+    EXPECT_EQ(h.data()[2], 0u);
+}
+
+TEST(Stats, HistogramMean)
+{
+    Histogram h;
+    h.init(0, 100, 10);
+    h.sample(10);
+    h.sample(30);
+    EXPECT_DOUBLE_EQ(h.mean(), 20);
+}
+
+TEST(Stats, GroupDumpPaths)
+{
+    StatGroup root(nullptr, "root");
+    StatGroup child(&root, "child");
+    Scalar a, b;
+    a += 1;
+    b += 2;
+    root.addScalar("a", &a);
+    child.addScalar("b", &b, "a nested stat");
+
+    std::ostringstream os;
+    root.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("root.a 1"), std::string::npos);
+    EXPECT_NE(out.find("root.child.b 2"), std::string::npos);
+    EXPECT_NE(out.find("# a nested stat"), std::string::npos);
+}
+
+TEST(Stats, Lookup)
+{
+    StatGroup root(nullptr, "root");
+    StatGroup child(&root, "child");
+    Scalar s;
+    s += 7;
+    child.addScalar("x", &s);
+
+    bool found = false;
+    EXPECT_DOUBLE_EQ(root.lookup("child.x", &found), 7);
+    EXPECT_TRUE(found);
+    root.lookup("child.nope", &found);
+    EXPECT_FALSE(found);
+    root.lookup("nochild.x", &found);
+    EXPECT_FALSE(found);
+}
+
+TEST(Stats, ResetAllRecurses)
+{
+    StatGroup root(nullptr, "root");
+    StatGroup child(&root, "child");
+    Scalar a, b;
+    a += 1;
+    b += 1;
+    root.addScalar("a", &a);
+    child.addScalar("b", &b);
+    root.resetAll();
+    EXPECT_EQ(a.value(), 0);
+    EXPECT_EQ(b.value(), 0);
+}
+
+TEST(Stats, LateAttach)
+{
+    StatGroup root(nullptr, "root");
+    StatGroup floating;
+    floating.attach(&root, "late");
+    Scalar s;
+    s += 3;
+    floating.addScalar("v", &s);
+    bool found = false;
+    EXPECT_DOUBLE_EQ(root.lookup("late.v", &found), 3);
+    EXPECT_TRUE(found);
+}
+
+TEST(Stats, DuplicateNamePanics)
+{
+    StatGroup g(nullptr, "g");
+    Scalar a, b;
+    g.addScalar("x", &a);
+    EXPECT_DEATH(g.addScalar("x", &b), "duplicate");
+}
+
+TEST(Stats, JsonDump)
+{
+    StatGroup root(nullptr, "root");
+    StatGroup child(&root, "child");
+    Scalar a, b;
+    a += 1.5;
+    b += 2;
+    root.addScalar("a", &a);
+    child.addScalar("b", &b);
+
+    std::ostringstream os;
+    root.dumpJson(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"a\": 1.5"), std::string::npos);
+    EXPECT_NE(out.find("\"child\": {"), std::string::npos);
+    EXPECT_NE(out.find("\"b\": 2"), std::string::npos);
+    // Balanced braces.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+              std::count(out.begin(), out.end(), '}'));
+}

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Workload model and trace-generation tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/benchmarks.hh"
+#include "workload/trace.hh"
+
+using namespace shmgpu;
+using namespace shmgpu::workload;
+
+TEST(WorkloadSpecs, AllSixteenPaperWorkloadsExist)
+{
+    const auto &all = allWorkloads();
+    ASSERT_EQ(all.size(), 16u);
+    const char *expected[] = {
+        "atax", "backprop", "bfs",    "b+tree",       "cfd",  "fdtd2d",
+        "kmeans", "mvt",    "histo",  "lbm",          "mri-gridding",
+        "sad",  "stencil",  "srad",   "srad_v2",      "streamcluster"};
+    for (const char *name : expected) {
+        const WorkloadSpec &w = findWorkload(name);
+        EXPECT_EQ(w.name, name);
+        EXPECT_FALSE(w.buffers.empty()) << name;
+        EXPECT_FALSE(w.kernels.empty()) << name;
+        for (const auto &k : w.kernels) {
+            EXPECT_FALSE(k.streams.empty()) << name;
+            for (const auto &s : k.streams)
+                EXPECT_LT(s.buffer, w.buffers.size()) << name;
+        }
+    }
+}
+
+TEST(WorkloadSpecs, UnknownWorkloadIsFatal)
+{
+    EXPECT_DEATH(findWorkload("nope"), "unknown workload");
+}
+
+TEST(WorkloadSpecs, FirstKernelInitializesInputs)
+{
+    // Every paper workload copies at least one input before kernel 0,
+    // which is what seeds the read-only detector.
+    for (const auto &w : allWorkloads())
+        EXPECT_FALSE(w.kernels[0].preCopies.empty()) << w.name;
+}
+
+TEST(WorkloadSpecs, BufferLayoutIsAlignedAndDisjoint)
+{
+    const WorkloadSpec &w = findWorkload("lbm");
+    auto bases = layoutBuffers(w);
+    ASSERT_EQ(bases.size(), w.buffers.size());
+    for (std::size_t i = 0; i < bases.size(); ++i) {
+        EXPECT_EQ(bases[i] % (64 * 1024), 0u);
+        if (i > 0) {
+            EXPECT_GE(bases[i], bases[i - 1] + w.buffers[i - 1].bytes);
+        }
+    }
+    EXPECT_EQ(footprintBytes(w), bases.back() + w.buffers.back().bytes);
+}
+
+TEST(WorkloadSpecs, FootprintsFitProtectedSpace)
+{
+    for (const auto &w : allWorkloads())
+        EXPECT_LT(footprintBytes(w), 3ull << 30) << w.name;
+}
+
+TEST(KernelTrace, DeterministicAcrossRuns)
+{
+    WorkloadSpec w = makeMixedMicro();
+    auto bases = layoutBuffers(w);
+    KernelTrace a(w, bases, 0, 4);
+    KernelTrace b(w, bases, 0, 4);
+    TraceOp oa, ob;
+    for (int i = 0; i < 500; ++i) {
+        bool ra = a.next(1, oa);
+        bool rb = b.next(1, ob);
+        ASSERT_EQ(ra, rb);
+        if (!ra)
+            break;
+        EXPECT_EQ(oa.addr, ob.addr);
+        EXPECT_EQ(oa.type, ob.type);
+        EXPECT_EQ(oa.computeInstrs, ob.computeInstrs);
+    }
+}
+
+TEST(KernelTrace, StreamingSweepsDenselyInOrder)
+{
+    WorkloadSpec w = makeStreamingMicro(1 << 20, 64);
+    auto bases = layoutBuffers(w);
+    KernelTrace t(w, bases, 0, 4);
+
+    // Round-robin the SMs like the simulator does; collect the read
+    // stream's addresses.
+    std::vector<Addr> reads;
+    bool live = true;
+    while (live) {
+        live = false;
+        for (SmId sm = 0; sm < 4; ++sm) {
+            TraceOp op;
+            if (t.next(sm, op)) {
+                live = true;
+                if (op.type == mem::AccessType::Read)
+                    reads.push_back(op.addr);
+            }
+        }
+    }
+    ASSERT_EQ(reads.size(), 4u * 64u);
+    // The global ticket makes the union exactly sequential sectors.
+    std::set<Addr> unique(reads.begin(), reads.end());
+    EXPECT_EQ(unique.size(), reads.size());
+    EXPECT_EQ(*unique.begin(), bases[0]);
+    EXPECT_EQ(*unique.rbegin(), bases[0] + (reads.size() - 1) * 32);
+}
+
+TEST(KernelTrace, RandomPatternSpreads)
+{
+    WorkloadSpec w = makeRandomMicro(1 << 20, 512);
+    auto bases = layoutBuffers(w);
+    KernelTrace t(w, bases, 0, 2);
+
+    std::set<Addr> addrs;
+    TraceOp op;
+    while (t.next(0, op))
+        if (op.type == mem::AccessType::Read)
+            addrs.insert(op.addr);
+    // 512 random picks from 32K sectors: expect almost no repeats.
+    EXPECT_GT(addrs.size(), 480u);
+}
+
+TEST(KernelTrace, ProbabilisticStreamsThin)
+{
+    WorkloadSpec w = makeStreamingMicro(1 << 20, 1000);
+    w.kernels[0].streams[1].prob = 0.25; // thin the write stream
+    auto bases = layoutBuffers(w);
+    KernelTrace t(w, bases, 0, 1);
+
+    int reads = 0, writes = 0;
+    TraceOp op;
+    while (t.next(0, op))
+        (op.type == mem::AccessType::Read ? reads : writes)++;
+    EXPECT_EQ(reads, 1000);
+    EXPECT_NEAR(writes, 250, 60);
+}
+
+TEST(KernelTrace, SpacePropagates)
+{
+    const WorkloadSpec &w = findWorkload("kmeans");
+    auto bases = layoutBuffers(w);
+    KernelTrace t(w, bases, 0, 2);
+    bool saw_texture = false, saw_constant = false;
+    TraceOp op;
+    for (int i = 0; i < 2000 && t.next(0, op); ++i) {
+        saw_texture |= (op.space == MemSpace::Texture);
+        saw_constant |= (op.space == MemSpace::Constant);
+    }
+    EXPECT_TRUE(saw_texture);
+    EXPECT_TRUE(saw_constant);
+}
+
+TEST(KernelTrace, DrainsExactly)
+{
+    WorkloadSpec w = makeStreamingMicro(1 << 20, 16);
+    auto bases = layoutBuffers(w);
+    KernelTrace t(w, bases, 0, 2);
+    EXPECT_FALSE(t.done());
+    TraceOp op;
+    int count0 = 0;
+    while (t.next(0, op))
+        ++count0;
+    EXPECT_EQ(count0, 32); // 16 iterations x 2 streams
+    EXPECT_FALSE(t.done()) << "SM 1 still live";
+    while (t.next(1, op)) {
+    }
+    EXPECT_TRUE(t.done());
+    EXPECT_FALSE(t.next(0, op));
+}
+
+TEST(KernelTrace, HotSetConcentrates)
+{
+    WorkloadSpec w;
+    w.name = "hot";
+    w.seed = 3;
+    w.buffers = {{"b", 1 << 20, MemSpace::Global}};
+    w.kernels = {{"k", 4000, 0,
+                  {{0, Pattern::RandomHot, false, 1.0, 0.05, 0.8}},
+                  {}}};
+    auto bases = layoutBuffers(w);
+    KernelTrace t(w, bases, 0, 1);
+
+    std::uint64_t hot_bytes = (1 << 20) / 20; // 5%
+    int in_hot = 0, total = 0;
+    TraceOp op;
+    while (t.next(0, op)) {
+        ++total;
+        in_hot += (op.addr - bases[0]) < hot_bytes;
+    }
+    EXPECT_EQ(total, 4000);
+    // 80% targeted + ~5% of the uniform tail.
+    EXPECT_NEAR(in_hot / 4000.0, 0.81, 0.05);
+}
+
+TEST(KernelTrace, StridedPatternSkipsBlocks)
+{
+    WorkloadSpec w;
+    w.name = "strided";
+    w.seed = 4;
+    w.buffers = {{"m", 1 << 20, MemSpace::Global}};
+    w.kernels = {{"col_walk", 512, 0,
+                  {{0, Pattern::Strided, false, 1.0, 0, 0, 16}},
+                  {}}};
+    auto bases = layoutBuffers(w);
+    KernelTrace t(w, bases, 0, 1);
+
+    TraceOp op, prev;
+    ASSERT_TRUE(t.next(0, prev));
+    int strided_steps = 0, total = 0;
+    while (t.next(0, op)) {
+        ++total;
+        strided_steps += (op.addr == prev.addr + 16 * 32);
+        prev = op;
+    }
+    // Almost every step advances by the stride (one wrap per sweep).
+    EXPECT_GT(strided_steps, total - 5);
+}
+
+TEST(KernelTrace, StridedSweepsCoverEverythingEventually)
+{
+    WorkloadSpec w;
+    w.name = "strided2";
+    w.seed = 5;
+    w.buffers = {{"m", 64 * 1024, MemSpace::Global}};
+    // 2048 sectors, stride 16: 16 sweeps x 128 steps cover all.
+    w.kernels = {{"cover", 2048, 0,
+                  {{0, Pattern::Strided, false, 1.0, 0, 0, 16}},
+                  {}}};
+    auto bases = layoutBuffers(w);
+    KernelTrace t(w, bases, 0, 1);
+
+    std::set<Addr> seen;
+    TraceOp op;
+    while (t.next(0, op))
+        seen.insert(op.addr);
+    EXPECT_EQ(seen.size(), 2048u);
+}
+
+TEST(WorkloadValidation, AcceptsAllBuiltins)
+{
+    for (const auto &w : allWorkloads())
+        validateSpec(w); // fatal on violation
+    validateSpec(makeStreamingMicro());
+    validateSpec(makeRandomMicro());
+    validateSpec(makeMixedMicro());
+    validateSpec(makeMultiKernelMicro());
+}
+
+TEST(WorkloadValidation, RejectsBadSpecs)
+{
+    WorkloadSpec w = makeStreamingMicro();
+    w.kernels[0].streams[0].buffer = 99;
+    EXPECT_DEATH(validateSpec(w), "references buffer 99");
+
+    w = makeStreamingMicro();
+    w.kernels[0].streams[0].prob = 0.0;
+    EXPECT_DEATH(validateSpec(w), "probability");
+
+    w = makeStreamingMicro();
+    w.buffers.clear();
+    EXPECT_DEATH(validateSpec(w), "no buffers");
+
+    w = makeStreamingMicro();
+    w.kernels[0].streams.clear();
+    EXPECT_DEATH(validateSpec(w), "no streams");
+}
