@@ -28,17 +28,19 @@ main(int argc, char **argv)
 
     TextTable table({"workload", "preset", "Naive", "PSSM", "SHM"});
 
+    const std::vector<schemes::Scheme> designs = {
+        schemes::Scheme::Naive, schemes::Scheme::Pssm,
+        schemes::Scheme::Shm};
     for (const char *preset : {"turing", "big"}) {
         gpu::GpuParams gp = gpu::presetByName(preset);
         gp.maxCyclesPerKernel = opts.gpuParams().maxCyclesPerKernel;
-        core::Experiment exp(gp);
-        for (const auto *w : subset) {
-            std::vector<std::string> row = {w->name, preset};
-            for (auto s : {schemes::Scheme::Naive, schemes::Scheme::Pssm,
-                           schemes::Scheme::Shm}) {
-                auto r = exp.run(s, *w);
-                row.push_back(TextTable::num(r.normalizedIpc, 3));
-            }
+        core::SweepRunner runner(gp);
+        auto results = runner.run(designs, subset, opts.sweepOptions());
+        for (std::size_t wi = 0; wi < subset.size(); ++wi) {
+            std::vector<std::string> row = {subset[wi]->name, preset};
+            for (std::size_t i = 0; i < designs.size(); ++i)
+                row.push_back(TextTable::num(
+                    results[wi * designs.size() + i].normalizedIpc, 3));
             table.addRow(row);
         }
     }

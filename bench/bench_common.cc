@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "common/logging.hh"
@@ -22,9 +23,15 @@ parseOptions(int argc, char **argv)
             opts.csv = true;
         } else if (arg.rfind("--workload=", 0) == 0) {
             opts.workloadFilter = arg.substr(strlen("--workload="));
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            opts.jobs = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + strlen("--jobs="), nullptr,
+                             10));
+        } else if (arg.rfind("--out=", 0) == 0) {
+            opts.outFile = arg.substr(strlen("--out="));
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--quick] [--csv] "
-                        "[--workload=NAME]\n",
+                        "[--workload=NAME] [--jobs=N] [--out=FILE]\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -58,8 +65,33 @@ BenchOptions::gpuParams() const
     return p;
 }
 
+core::SweepOptions
+BenchOptions::sweepOptions() const
+{
+    core::SweepOptions s;
+    s.jobs = jobs; // 0 = hardware concurrency
+    return s;
+}
+
+std::vector<core::ExperimentResult>
+runGrid(const BenchOptions &options, const core::SweepRunner &runner,
+        const std::vector<schemes::Scheme> &designs,
+        const core::RunOptions &run_options)
+{
+    core::SweepOptions sweep_opts = options.sweepOptions();
+    sweep_opts.run = run_options;
+    auto results = runner.run(designs, options.workloads(), sweep_opts);
+    if (!options.outFile.empty()) {
+        std::ofstream os(options.outFile, std::ios::binary);
+        if (!os)
+            shm_fatal("cannot open '{}' for writing", options.outFile);
+        core::writeSweepJson(os, results);
+    }
+    return results;
+}
+
 TextTable
-schemeSweep(const BenchOptions &options, core::Experiment &experiment,
+schemeSweep(const BenchOptions &options, const core::SweepRunner &runner,
             const std::vector<schemes::Scheme> &designs,
             double (*metric)(const core::ExperimentResult &),
             int precision)
@@ -69,12 +101,14 @@ schemeSweep(const BenchOptions &options, core::Experiment &experiment,
         header.push_back(schemes::schemeName(s));
     TextTable table(header);
 
+    auto workload_list = options.workloads();
+    auto results = runGrid(options, runner, designs);
+
     std::vector<std::vector<double>> columns(designs.size());
-    for (const auto *w : options.workloads()) {
-        std::vector<std::string> row = {w->name};
+    for (std::size_t wi = 0; wi < workload_list.size(); ++wi) {
+        std::vector<std::string> row = {workload_list[wi]->name};
         for (std::size_t i = 0; i < designs.size(); ++i) {
-            auto r = experiment.run(designs[i], *w);
-            double v = metric(r);
+            double v = metric(results[wi * designs.size() + i]);
             columns[i].push_back(v);
             row.push_back(TextTable::num(v, precision));
         }

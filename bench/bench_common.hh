@@ -5,9 +5,14 @@
  * table emission.
  *
  * Every bench prints the rows/series of one paper table or figure.
+ * Grids run through core::SweepRunner, so cells execute on a worker
+ * pool (--jobs) with results independent of the job count.
+ *
  * Flags accepted by all benches:
  *   --quick            quarter-length simulations (CI-friendly)
  *   --workload=NAME    run a single workload
+ *   --jobs=N           worker threads (default: hardware concurrency)
+ *   --out=FILE         also write the sweep's JSON results sink
  *   --csv              emit CSV instead of an aligned table
  */
 
@@ -19,6 +24,7 @@
 
 #include "common/table.hh"
 #include "core/experiment.hh"
+#include "core/sweep.hh"
 #include "schemes/schemes.hh"
 #include "gpu/params.hh"
 #include "workload/benchmarks.hh"
@@ -32,12 +38,19 @@ struct BenchOptions
     bool quick = false;
     bool csv = false;
     std::string workloadFilter;
+    /** Sweep worker threads; 0 = hardware concurrency. */
+    unsigned jobs = 0;
+    /** When nonempty, grids also write the JSON results sink here. */
+    std::string outFile;
 
     /** Workloads selected by the filter (all 16 by default). */
     std::vector<const workload::WorkloadSpec *> workloads() const;
 
     /** The bench GPU configuration (shorter kernels when quick). */
     gpu::GpuParams gpuParams() const;
+
+    /** Sweep options carrying the --jobs choice. */
+    core::SweepOptions sweepOptions() const;
 };
 
 /** Parse argv; exits with usage on unknown flags. */
@@ -48,12 +61,22 @@ void emit(const BenchOptions &options, const std::string &title,
           TextTable &table);
 
 /**
+ * Run the @p designs x selected-workloads grid through @p runner
+ * (workload-major results) and honour --out. The shared step behind
+ * every figure driver.
+ */
+std::vector<core::ExperimentResult>
+runGrid(const BenchOptions &options, const core::SweepRunner &runner,
+        const std::vector<schemes::Scheme> &designs,
+        const core::RunOptions &run_options = {});
+
+/**
  * The common shape of Figs. 12/13/15: one row per workload, one
  * column per scheme, a geomean footer. @p metric extracts the value
  * from each ExperimentResult.
  */
 TextTable schemeSweep(const BenchOptions &options,
-                      core::Experiment &experiment,
+                      const core::SweepRunner &runner,
                       const std::vector<schemes::Scheme> &designs,
                       double (*metric)(const core::ExperimentResult &),
                       int precision = 3);

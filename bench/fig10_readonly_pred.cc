@@ -22,19 +22,20 @@ main(int argc, char **argv)
     TextTable table({"workload", "Correct-Prediction", "MP_Init",
                      "MP_Aliasing"});
 
-    core::Experiment exp(opts.gpuParams());
+    core::SweepRunner runner(opts.gpuParams());
     core::RunOptions run_opts;
     run_opts.collectAccuracy = true;
+    auto results =
+        bench::runGrid(opts, runner, {schemes::Scheme::Shm}, run_opts);
 
     double sum_correct = 0;
     int rows = 0;
-    for (const auto *w : opts.workloads()) {
-        auto r = exp.run(schemes::Scheme::Shm, *w, run_opts);
+    for (const auto &r : results) {
         double total = r.metrics.roCorrect + r.metrics.roMpInit +
                        r.metrics.roMpAliasing;
         if (total == 0)
             total = 1;
-        table.addRow({w->name,
+        table.addRow({r.workload,
                       TextTable::pct(r.metrics.roCorrect / total),
                       TextTable::pct(r.metrics.roMpInit / total),
                       TextTable::pct(r.metrics.roMpAliasing / total)});

@@ -22,14 +22,15 @@ main(int argc, char **argv)
                      "MP_Runtime_Read_Only", "MP_Runtime_Non_Read_Only",
                      "MP_Aliasing"});
 
-    core::Experiment exp(opts.gpuParams());
+    core::SweepRunner runner(opts.gpuParams());
     core::RunOptions run_opts;
     run_opts.collectAccuracy = true;
+    auto results =
+        bench::runGrid(opts, runner, {schemes::Scheme::Shm}, run_opts);
 
     double sum_correct = 0;
     int rows = 0;
-    for (const auto *w : opts.workloads()) {
-        auto r = exp.run(schemes::Scheme::Shm, *w, run_opts);
+    for (const auto &r : results) {
         double total = r.metrics.strCorrect + r.metrics.strMpInit +
                        r.metrics.strMpRuntimeRo +
                        r.metrics.strMpRuntimeNonRo +
@@ -37,7 +38,7 @@ main(int argc, char **argv)
         if (total == 0)
             total = 1;
         table.addRow(
-            {w->name, TextTable::pct(r.metrics.strCorrect / total),
+            {r.workload, TextTable::pct(r.metrics.strCorrect / total),
              TextTable::pct(r.metrics.strMpInit / total),
              TextTable::pct(r.metrics.strMpRuntimeRo / total),
              TextTable::pct(r.metrics.strMpRuntimeNonRo / total),

@@ -22,9 +22,9 @@ main(int argc, char **argv)
         Scheme::Naive, Scheme::CommonCtr, Scheme::Pssm, Scheme::Shm,
         Scheme::ShmUpperBound,
     };
-    core::Experiment exp(opts.gpuParams());
+    core::SweepRunner runner(opts.gpuParams());
     TextTable table = bench::schemeSweep(
-        opts, exp, designs,
+        opts, runner, designs,
         [](const core::ExperimentResult &r) { return r.normalizedIpc; });
     bench::emit(opts, "Fig. 12 — Normalized IPC of secure GPU memory designs", table);
     return 0;

@@ -23,9 +23,9 @@ main(int argc, char **argv)
         Scheme::Pssm, Scheme::PssmCctr, Scheme::ShmReadOnly,
         Scheme::Shm, Scheme::ShmCctr,
     };
-    core::Experiment exp(opts.gpuParams());
+    core::SweepRunner runner(opts.gpuParams());
     TextTable table = bench::schemeSweep(
-        opts, exp, designs,
+        opts, runner, designs,
         [](const core::ExperimentResult &r) { return r.normalizedIpc; });
     bench::emit(opts, "Fig. 13 — Performance impact of individual optimizations (normalized IPC)", table);
     return 0;

@@ -26,14 +26,16 @@ main(int argc, char **argv)
     TextTable table({"workload", "Naive", "PSSM", "SHM_readOnly", "SHM",
                      "SHM:ctr", "SHM:mac", "SHM:bmt", "SHM:extra"});
 
-    core::Experiment exp(opts.gpuParams());
+    core::SweepRunner runner(opts.gpuParams());
+    auto workload_list = opts.workloads();
+    auto results = bench::runGrid(opts, runner, designs);
     std::vector<std::vector<double>> columns(designs.size());
 
-    for (const auto *w : opts.workloads()) {
-        std::vector<std::string> row = {w->name};
+    for (std::size_t wi = 0; wi < workload_list.size(); ++wi) {
+        std::vector<std::string> row = {workload_list[wi]->name};
         gpu::RunMetrics shm_metrics;
         for (std::size_t i = 0; i < designs.size(); ++i) {
-            auto r = exp.run(designs[i], *w);
+            const auto &r = results[wi * designs.size() + i];
             columns[i].push_back(r.metrics.metadataOverhead());
             row.push_back(TextTable::pct(r.metrics.metadataOverhead()));
             if (designs[i] == Scheme::Shm)

@@ -20,9 +20,9 @@ main(int argc, char **argv)
     const std::vector<Scheme> designs = {
         Scheme::Naive, Scheme::CommonCtr, Scheme::Pssm, Scheme::Shm,
     };
-    core::Experiment exp(opts.gpuParams());
+    core::SweepRunner runner(opts.gpuParams());
     TextTable table = bench::schemeSweep(
-        opts, exp, designs,
+        opts, runner, designs,
         [](const core::ExperimentResult &r) { return r.normalizedEnergyPerInstr; });
     bench::emit(opts, "Fig. 15 — Normalized energy per instruction", table);
     return 0;

@@ -22,16 +22,20 @@ main(int argc, char **argv)
     TextTable table({"workload", "SHM", "SHM_vL2", "delta",
                      "victim_hits", "victim_inserts"});
 
-    core::Experiment exp(opts.gpuParams());
+    core::SweepRunner runner(opts.gpuParams());
+    auto workload_list = opts.workloads();
+    auto results =
+        bench::runGrid(opts, runner, {Scheme::Shm, Scheme::ShmVL2});
     std::vector<double> shm_col, vl2_col;
 
-    for (const auto *w : opts.workloads()) {
-        auto shm = exp.run(Scheme::Shm, *w);
-        auto vl2 = exp.run(Scheme::ShmVL2, *w);
+    for (std::size_t wi = 0; wi < workload_list.size(); ++wi) {
+        const auto &shm = results[wi * 2];
+        const auto &vl2 = results[wi * 2 + 1];
         shm_col.push_back(shm.normalizedIpc);
         vl2_col.push_back(vl2.normalizedIpc);
         table.addRow(
-            {w->name, TextTable::num(shm.normalizedIpc, 3),
+            {workload_list[wi]->name,
+             TextTable::num(shm.normalizedIpc, 3),
              TextTable::num(vl2.normalizedIpc, 3),
              TextTable::pct(vl2.normalizedIpc - shm.normalizedIpc),
              TextTable::num(vl2.metrics.victimHits, 0),

@@ -1,0 +1,463 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace shmgpu::json
+{
+
+Value
+Value::array()
+{
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+Value
+Value::object()
+{
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool
+Value::asBool() const
+{
+    shm_assert(kind_ == Kind::Bool, "json: not a bool");
+    return boolVal;
+}
+
+double
+Value::asNumber() const
+{
+    shm_assert(kind_ == Kind::Number, "json: not a number");
+    return numVal;
+}
+
+const std::string &
+Value::asString() const
+{
+    shm_assert(kind_ == Kind::String, "json: not a string");
+    return strVal;
+}
+
+Value &
+Value::append(Value v)
+{
+    shm_assert(kind_ == Kind::Array, "json: append on non-array");
+    arr.push_back(std::move(v));
+    return arr.back();
+}
+
+std::size_t
+Value::size() const
+{
+    if (kind_ == Kind::Array)
+        return arr.size();
+    if (kind_ == Kind::Object)
+        return obj.size();
+    shm_panic("json: size() on a scalar");
+}
+
+const Value &
+Value::at(std::size_t index) const
+{
+    shm_assert(kind_ == Kind::Array, "json: index on non-array");
+    shm_assert(index < arr.size(), "json: index {} out of range ({})",
+               index, arr.size());
+    return arr[index];
+}
+
+Value &
+Value::operator[](const std::string &key)
+{
+    shm_assert(kind_ == Kind::Object, "json: member on non-object");
+    for (auto &[k, v] : obj) {
+        if (k == key)
+            return v;
+    }
+    obj.emplace_back(key, Value());
+    return obj.back().second;
+}
+
+bool
+Value::contains(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return false;
+    for (const auto &[k, v] : obj) {
+        if (k == key)
+            return true;
+    }
+    return false;
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    shm_assert(kind_ == Kind::Object, "json: member on non-object");
+    for (const auto &[k, v] : obj) {
+        if (k == key)
+            return v;
+    }
+    shm_panic("json: no member '{}'", key);
+}
+
+const std::vector<std::pair<std::string, Value>> &
+Value::members() const
+{
+    shm_assert(kind_ == Kind::Object, "json: members() on non-object");
+    return obj;
+}
+
+std::string
+numberToString(double d)
+{
+    shm_assert(std::isfinite(d), "json: non-finite number {}", d);
+    // Integral values print without an exponent or trailing ".0" so
+    // counters look like counters; everything else uses the shortest
+    // form that parses back to the same double.
+    char buf[64];
+    if (d == std::floor(d) && std::fabs(d) < 1e15) {
+        auto [ptr, ec] = std::to_chars(
+            buf, buf + sizeof(buf), static_cast<long long>(d));
+        shm_assert(ec == std::errc(), "json: number format failed");
+        return std::string(buf, ptr);
+    }
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+    shm_assert(ec == std::errc(), "json: number format failed");
+    return std::string(buf, ptr);
+}
+
+namespace
+{
+
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+void
+Value::writeIndented(std::ostream &os, int indent, int depth) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) *
+                              (static_cast<std::size_t>(depth) + 1),
+                          ' ');
+    const std::string close_pad(
+        static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+        ' ');
+    const char *nl = indent > 0 ? "\n" : "";
+    const char *key_sep = indent > 0 ? ": " : ":";
+
+    switch (kind_) {
+      case Kind::Null:
+        os << "null";
+        break;
+      case Kind::Bool:
+        os << (boolVal ? "true" : "false");
+        break;
+      case Kind::Number:
+        os << numberToString(numVal);
+        break;
+      case Kind::String:
+        writeEscaped(os, strVal);
+        break;
+      case Kind::Array:
+        if (arr.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[' << nl;
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+            os << pad;
+            arr[i].writeIndented(os, indent, depth + 1);
+            if (i + 1 < arr.size())
+                os << ',';
+            os << nl;
+        }
+        os << close_pad << ']';
+        break;
+      case Kind::Object:
+        if (obj.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{' << nl;
+        for (std::size_t i = 0; i < obj.size(); ++i) {
+            os << pad;
+            writeEscaped(os, obj[i].first);
+            os << key_sep;
+            obj[i].second.writeIndented(os, indent, depth + 1);
+            if (i + 1 < obj.size())
+                os << ',';
+            os << nl;
+        }
+        os << close_pad << '}';
+        break;
+    }
+}
+
+void
+Value::write(std::ostream &os, int indent) const
+{
+    writeIndented(os, indent, 0);
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+namespace
+{
+
+/** Recursive-descent parser over an in-memory document. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : src(text) {}
+
+    Value
+    document()
+    {
+        Value v = value();
+        skipWs();
+        if (pos != src.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        shm_fatal("json parse error at offset {}: {}", pos, what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < src.size() &&
+               (src[pos] == ' ' || src[pos] == '\t' || src[pos] == '\n' ||
+                src[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= src.size())
+            fail("unexpected end of input");
+        return src[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos >= src.size() || src[pos] != c)
+            fail("unexpected character");
+        ++pos;
+    }
+
+    bool
+    consume(const char *word)
+    {
+        std::size_t n = std::strlen(word);
+        if (src.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= src.size())
+                fail("unterminated string");
+            char c = src[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= src.size())
+                fail("unterminated escape");
+            char e = src[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos + 4 > src.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                auto [p, ec] = std::from_chars(
+                    src.data() + pos, src.data() + pos + 4, code, 16);
+                if (ec != std::errc() || p != src.data() + pos + 4)
+                    fail("bad \\u escape");
+                pos += 4;
+                // The writer only emits \u for control characters;
+                // reject surrogates instead of mis-decoding them.
+                if (code >= 0xD800 && code <= 0xDFFF)
+                    fail("surrogate \\u escapes unsupported");
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    Value
+    number()
+    {
+        std::size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        while (pos < src.size() &&
+               (std::isdigit(static_cast<unsigned char>(src[pos])) ||
+                src[pos] == '.' || src[pos] == 'e' || src[pos] == 'E' ||
+                src[pos] == '+' || src[pos] == '-'))
+            ++pos;
+        double d = 0;
+        auto [p, ec] =
+            std::from_chars(src.data() + start, src.data() + pos, d);
+        if (ec != std::errc() || p != src.data() + pos)
+            fail("malformed number");
+        return Value(d);
+    }
+
+    Value
+    value()
+    {
+        skipWs();
+        char c = peek();
+        if (c == '{') {
+            ++pos;
+            Value v = Value::object();
+            skipWs();
+            if (peek() == '}') {
+                ++pos;
+                return v;
+            }
+            while (true) {
+                skipWs();
+                std::string key = string();
+                skipWs();
+                expect(':');
+                v[key] = value();
+                skipWs();
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect('}');
+                return v;
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            Value v = Value::array();
+            skipWs();
+            if (peek() == ']') {
+                ++pos;
+                return v;
+            }
+            while (true) {
+                v.append(value());
+                skipWs();
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect(']');
+                return v;
+            }
+        }
+        if (c == '"')
+            return Value(string());
+        if (consume("true"))
+            return Value(true);
+        if (consume("false"))
+            return Value(false);
+        if (consume("null"))
+            return Value(nullptr);
+        return number();
+    }
+
+    const std::string &src;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+Value
+Value::parse(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+Value
+Value::parseFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        shm_fatal("cannot open json file '{}'", path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+}
+
+} // namespace shmgpu::json

@@ -1,5 +1,7 @@
 #include "common/logging.hh"
 
+#include <atomic>
+
 namespace shmgpu
 {
 namespace log_detail
@@ -7,19 +9,21 @@ namespace log_detail
 
 namespace
 {
-bool verboseFlag = true;
+// Atomic: SweepRunner worker threads inform() concurrently with a
+// driver toggling verbosity.
+std::atomic<bool> verboseFlag{true};
 } // namespace
 
 void
 setVerbose(bool verbose)
 {
-    verboseFlag = verbose;
+    verboseFlag.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return verboseFlag;
+    return verboseFlag.load(std::memory_order_relaxed);
 }
 
 void
@@ -45,7 +49,7 @@ warnImpl(const std::string &msg)
 void
 informImpl(const std::string &msg)
 {
-    if (verboseFlag)
+    if (verbose())
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

@@ -6,6 +6,12 @@
  * we avoid std::mt19937/std::uniform_int_distribution (whose outputs
  * are implementation-defined for some distributions) in favour of a
  * small self-contained generator.
+ *
+ * Thread-safety contract: an Rng instance is plain mutable state and
+ * must be owned by exactly one thread. All simulator generators are
+ * seeded purely from (workload seed, kernel, SM) — never from global
+ * or thread-local state — which is what lets core::SweepRunner run
+ * cells on any thread and still produce bit-identical metrics.
  */
 
 #ifndef SHMGPU_COMMON_RNG_HH

@@ -5,6 +5,12 @@
  * Components register named Scalar / Histogram statistics in a
  * StatGroup. Groups can be nested; dumping a group produces a flat,
  * stable "path.name value" listing that tests and benches consume.
+ *
+ * Thread-safety contract: a stats tree belongs to one simulator
+ * instance and is confined to the thread driving that simulator.
+ * Nothing here is global, so concurrent simulations (core::SweepRunner
+ * cells) never share a StatGroup; do not register one stat in two
+ * simulators' trees.
  */
 
 #ifndef SHMGPU_COMMON_STATS_HH

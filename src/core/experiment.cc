@@ -9,31 +9,66 @@
 namespace shmgpu::core
 {
 
-Experiment::Experiment(const gpu::GpuParams &gpu_params,
-                       const gpu::EnergyParams &energy_params)
-    : gpuConfig(gpu_params), energyConfig(energy_params)
+BaselineCache::BaselineCache(const gpu::GpuParams &gpu_params)
+    : gpuConfig(gpu_params)
 {
 }
 
 const gpu::RunMetrics &
-Experiment::baselineFor(const workload::WorkloadSpec &spec)
+BaselineCache::metricsFor(const workload::WorkloadSpec &spec)
 {
-    auto it = baselineCache.find(spec.name);
-    if (it != baselineCache.end())
-        return it->second;
+    const std::uint64_t key = workload::contentHash(spec);
+    Entry *entry = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto &slot = entries[key];
+        if (!slot)
+            slot = std::make_unique<Entry>();
+        entry = slot.get();
+    }
+    // Simulate outside the map lock so unrelated lookups proceed;
+    // call_once serializes exactly the threads needing this spec.
+    std::call_once(entry->once, [&] {
+        gpu::GpuSimulator sim(gpuConfig,
+                              schemes::makeMeeParams(
+                                  schemes::Scheme::Baseline),
+                              spec);
+        entry->metrics = sim.run();
+    });
+    return entry->metrics;
+}
 
-    gpu::GpuSimulator sim(gpuConfig,
-                          schemes::makeMeeParams(
-                              schemes::Scheme::Baseline),
-                          spec);
-    gpu::RunMetrics m = sim.run();
-    return baselineCache.emplace(spec.name, m).first->second;
+std::size_t
+BaselineCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return entries.size();
+}
+
+Experiment::Experiment(const gpu::GpuParams &gpu_params,
+                       const gpu::EnergyParams &energy_params)
+    : energyConfig(energy_params),
+      baselines(std::make_shared<BaselineCache>(gpu_params))
+{
+}
+
+Experiment::Experiment(std::shared_ptr<BaselineCache> baseline_cache,
+                       const gpu::EnergyParams &energy_params)
+    : energyConfig(energy_params), baselines(std::move(baseline_cache))
+{
+    shm_assert(baselines != nullptr, "Experiment needs a baseline cache");
+}
+
+const gpu::RunMetrics &
+Experiment::baselineFor(const workload::WorkloadSpec &spec) const
+{
+    return baselines->metricsFor(spec);
 }
 
 ExperimentResult
 Experiment::run(schemes::Scheme scheme,
                 const workload::WorkloadSpec &spec,
-                const RunOptions &options)
+                const RunOptions &options) const
 {
     ExperimentResult result;
     result.workload = spec.name;
@@ -46,10 +81,10 @@ Experiment::run(schemes::Scheme scheme,
     bool want_profile = options.collectAccuracy ||
                         schemes::needsProfilePass(scheme);
     if (want_profile) {
-        profile.emplace(gpuConfig.numPartitions,
+        profile.emplace(gpuParams().numPartitions,
                         mee_params.roDetector.regionBytes,
                         mee_params.streamDetector.chunkBytes);
-        gpu::GpuSimulator pass1(gpuConfig,
+        gpu::GpuSimulator pass1(gpuParams(),
                                 schemes::makeMeeParams(
                                     schemes::Scheme::Baseline),
                                 spec);
@@ -57,7 +92,7 @@ Experiment::run(schemes::Scheme scheme,
         pass1.run();
     }
 
-    gpu::GpuSimulator sim(gpuConfig, mee_params, spec);
+    gpu::GpuSimulator sim(gpuParams(), mee_params, spec);
     if (schemes::needsProfilePass(scheme))
         sim.primeFromProfile(*profile);
     if (profile)

@@ -10,12 +10,19 @@
  *                    shmgpu::workload::findWorkload("lbm"));
  *   std::cout << r.normalizedIpc << "\n";
  * @endcode
+ *
+ * Experiment itself holds no per-run state beyond the shared
+ * BaselineCache, so one instance may be used from many threads at
+ * once (core::SweepRunner does exactly that), and several instances
+ * constructed with the same cache share baseline simulations.
  */
 
 #ifndef SHMGPU_CORE_EXPERIMENT_HH
 #define SHMGPU_CORE_EXPERIMENT_HH
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -55,33 +62,75 @@ struct ExperimentResult
     double normalizedEnergyPerInstr = 0;
 };
 
-/** Runs experiments, caching the per-workload baseline. */
+/**
+ * Thread-safe store of no-security baseline metrics, keyed by
+ * workload::contentHash so distinct specs sharing a name (regenerated
+ * parameter sweeps) never alias. Each unique spec is simulated
+ * exactly once even under concurrent lookups: the entry's once_flag
+ * lets other threads wait for the in-flight simulation instead of
+ * duplicating it.
+ */
+class BaselineCache
+{
+  public:
+    explicit BaselineCache(const gpu::GpuParams &gpu_params);
+
+    /** Metrics for @p spec, simulating on first use. The returned
+     *  reference stays valid for the cache's lifetime. */
+    const gpu::RunMetrics &metricsFor(const workload::WorkloadSpec &spec);
+
+    /** Number of distinct specs simulated so far. */
+    std::size_t size() const;
+
+    const gpu::GpuParams &gpuParams() const { return gpuConfig; }
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        gpu::RunMetrics metrics;
+    };
+
+    gpu::GpuParams gpuConfig;
+    mutable std::mutex mutex;
+    /** unique_ptr entries: node-stable addresses survive rehash-free
+     *  map growth while other threads hold references. */
+    std::map<std::uint64_t, std::unique_ptr<Entry>> entries;
+};
+
+/** Runs experiments against a (possibly shared) baseline cache. */
 class Experiment
 {
   public:
     explicit Experiment(const gpu::GpuParams &gpu_params = {},
                         const gpu::EnergyParams &energy_params = {});
 
+    /** Share @p baselines (GPU parameters come from the cache). */
+    Experiment(std::shared_ptr<BaselineCache> baselines,
+               const gpu::EnergyParams &energy_params = {});
+
     /** Simulate @p scheme on @p spec (baseline simulated on demand). */
     ExperimentResult run(schemes::Scheme scheme,
                          const workload::WorkloadSpec &spec,
-                         const RunOptions &options = {});
+                         const RunOptions &options = {}) const;
 
-    /**
-     * The no-security metrics for @p spec, cached **by workload
-     * name**: reuse one Experiment across distinct specs that share a
-     * name (e.g. regenerated parameter sweeps) would alias — create a
-     * fresh Experiment per spec in that case.
-     */
-    const gpu::RunMetrics &baselineFor(const workload::WorkloadSpec &spec);
+    /** The no-security metrics for @p spec, cached by content hash. */
+    const gpu::RunMetrics &
+    baselineFor(const workload::WorkloadSpec &spec) const;
 
-    const gpu::GpuParams &gpuParams() const { return gpuConfig; }
+    const gpu::GpuParams &gpuParams() const
+    {
+        return baselines->gpuParams();
+    }
     const gpu::EnergyParams &energyParams() const { return energyConfig; }
+    const std::shared_ptr<BaselineCache> &baselineCache() const
+    {
+        return baselines;
+    }
 
   private:
-    gpu::GpuParams gpuConfig;
     gpu::EnergyParams energyConfig;
-    std::map<std::string, gpu::RunMetrics> baselineCache;
+    std::shared_ptr<BaselineCache> baselines;
 };
 
 /** Geometric mean helper for per-workload normalized series. */

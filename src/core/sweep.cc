@@ -1,0 +1,209 @@
+#include "core/sweep.hh"
+
+#include <algorithm>
+#include <exception>
+#include <map>
+#include <ostream>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace shmgpu::core
+{
+
+SweepRunner::SweepRunner(const gpu::GpuParams &gpu_params,
+                         const gpu::EnergyParams &energy_params)
+    : energyConfig(energy_params),
+      baselines(std::make_shared<BaselineCache>(gpu_params))
+{
+}
+
+ExperimentResult
+SweepRunner::runCell(const Experiment &experiment, const SweepCell &cell,
+                     const RunOptions &options) const
+{
+    shm_assert(cell.spec != nullptr, "sweep cell without a workload");
+    return experiment.run(cell.scheme, *cell.spec, options);
+}
+
+std::vector<ExperimentResult>
+SweepRunner::run(const std::vector<schemes::Scheme> &schemes,
+                 const std::vector<const workload::WorkloadSpec *>
+                     &workloads,
+                 const SweepOptions &options) const
+{
+    std::vector<SweepCell> cells;
+    cells.reserve(schemes.size() * workloads.size());
+    for (const auto *w : workloads)
+        for (auto s : schemes)
+            cells.push_back({s, w});
+    return runCells(cells, options);
+}
+
+std::vector<ExperimentResult>
+SweepRunner::runCells(const std::vector<SweepCell> &cells,
+                      const SweepOptions &options) const
+{
+    const std::size_t n = cells.size();
+    std::vector<ExperimentResult> results(n);
+    if (n == 0)
+        return results;
+
+    unsigned jobs = options.jobs != 0
+                        ? options.jobs
+                        : std::max(1u, std::thread::hardware_concurrency());
+    jobs = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, n));
+
+    const Experiment experiment(baselines, energyConfig);
+    std::atomic<std::size_t> next_cell{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::exception_ptr> errors(n);
+
+    auto cancelled = [&] {
+        return options.cancel && options.cancel->load();
+    };
+
+    auto worker = [&] {
+        while (true) {
+            const std::size_t i = next_cell.fetch_add(1);
+            if (i >= n || stop.load() || cancelled())
+                return;
+            try {
+                results[i] = runCell(experiment, cells[i], options.run);
+            } catch (...) {
+                errors[i] = std::current_exception();
+                stop.store(true); // abandon unstarted cells
+            }
+        }
+    };
+
+    if (jobs == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    // Rethrow the failure with the lowest grid index so the caller
+    // sees the same error no matter how cells were scheduled.
+    for (const auto &err : errors) {
+        if (err)
+            std::rethrow_exception(err);
+    }
+    if (cancelled())
+        throw SweepCancelled();
+    return results;
+}
+
+namespace
+{
+
+json::Value
+metricsToJson(const gpu::RunMetrics &m)
+{
+    json::Value v = json::Value::object();
+    v["cycles"] = json::Value(static_cast<std::uint64_t>(m.cycles));
+    v["instructions"] = json::Value(m.instructions);
+    v["ipc"] = json::Value(m.ipc);
+    v["bytesData"] = json::Value(m.bytesData);
+    v["bytesCounter"] = json::Value(m.bytesCounter);
+    v["bytesMac"] = json::Value(m.bytesMac);
+    v["bytesBmt"] = json::Value(m.bytesBmt);
+    v["bytesExtra"] = json::Value(m.bytesExtra);
+    v["metadataOverhead"] = json::Value(m.metadataOverhead());
+    v["bandwidthUtilization"] = json::Value(m.bandwidthUtilization);
+    v["l2MissRate"] = json::Value(m.l2MissRate);
+    v["roCorrect"] = json::Value(m.roCorrect);
+    v["roMpInit"] = json::Value(m.roMpInit);
+    v["roMpAliasing"] = json::Value(m.roMpAliasing);
+    v["strCorrect"] = json::Value(m.strCorrect);
+    v["strMpInit"] = json::Value(m.strMpInit);
+    v["strMpAliasing"] = json::Value(m.strMpAliasing);
+    v["strMpRuntimeRo"] = json::Value(m.strMpRuntimeRo);
+    v["strMpRuntimeNonRo"] = json::Value(m.strMpRuntimeNonRo);
+    v["sharedCtrReads"] = json::Value(m.sharedCtrReads);
+    v["commonCtrHits"] = json::Value(m.commonCtrHits);
+    v["roTransitions"] = json::Value(m.roTransitions);
+    v["chunkMacAccesses"] = json::Value(m.chunkMacAccesses);
+    v["blockMacAccesses"] = json::Value(m.blockMacAccesses);
+    v["dualMacFallbacks"] = json::Value(m.dualMacFallbacks);
+    v["victimHits"] = json::Value(m.victimHits);
+    v["victimInserts"] = json::Value(m.victimInserts);
+
+    json::Value energy = json::Value::object();
+    energy["cycles"] =
+        json::Value(static_cast<std::uint64_t>(m.energy.cycles));
+    energy["instructions"] = json::Value(m.energy.instructions);
+    energy["l2Accesses"] = json::Value(m.energy.l2Accesses);
+    energy["dramBytes"] = json::Value(m.energy.dramBytes);
+    energy["mdcAccesses"] = json::Value(m.energy.mdcAccesses);
+    energy["aesBlocks"] = json::Value(m.energy.aesBlocks);
+    energy["hashes"] = json::Value(m.energy.hashes);
+    v["energy"] = std::move(energy);
+    return v;
+}
+
+} // namespace
+
+json::Value
+resultToJson(const ExperimentResult &result)
+{
+    json::Value v = json::Value::object();
+    v["workload"] = json::Value(result.workload);
+    v["scheme"] = json::Value(result.scheme);
+    v["normalizedIpc"] = json::Value(result.normalizedIpc);
+    v["overhead"] = json::Value(result.overhead());
+    v["normalizedEnergyPerInstr"] =
+        json::Value(result.normalizedEnergyPerInstr);
+    v["metrics"] = metricsToJson(result.metrics);
+    v["baseline"] = metricsToJson(result.baseline);
+    return v;
+}
+
+json::Value
+sweepToJson(const std::vector<ExperimentResult> &results)
+{
+    json::Value doc = json::Value::object();
+    doc["schemaVersion"] = json::Value(1);
+    doc["cells"] = json::Value(results.size());
+
+    json::Value arr = json::Value::array();
+    for (const auto &r : results)
+        arr.append(resultToJson(r));
+    doc["results"] = std::move(arr);
+
+    // Per-scheme geomean summary in first-appearance order (the
+    // figure footer rows). Skips non-positive values the way the
+    // benches never produce but a truncated run might.
+    std::vector<std::string> scheme_order;
+    std::map<std::string, std::vector<double>> ipc_by_scheme;
+    for (const auto &r : results) {
+        if (!ipc_by_scheme.contains(r.scheme))
+            scheme_order.push_back(r.scheme);
+        if (r.normalizedIpc > 0)
+            ipc_by_scheme[r.scheme].push_back(r.normalizedIpc);
+    }
+    json::Value summary = json::Value::object();
+    for (const auto &scheme : scheme_order) {
+        const auto &vals = ipc_by_scheme[scheme];
+        summary[scheme] = json::Value(
+            vals.empty() ? 0.0 : geomean(vals));
+    }
+    doc["geomeanNormalizedIpc"] = std::move(summary);
+    return doc;
+}
+
+void
+writeSweepJson(std::ostream &os,
+               const std::vector<ExperimentResult> &results)
+{
+    sweepToJson(results).write(os, 2);
+    os << "\n";
+}
+
+} // namespace shmgpu::core

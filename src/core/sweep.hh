@@ -1,0 +1,132 @@
+/**
+ * @file
+ * core::SweepRunner — the parallel (scheme x workload) grid executor.
+ *
+ * Every paper figure is a grid of independent Experiment cells; this
+ * runner executes them on a pool of worker threads while guaranteeing
+ * *bit-identical* results at any job count:
+ *
+ *  - each cell builds its own GpuSimulator whose RNG streams are
+ *    seeded only from the workload spec, never from thread identity
+ *    or scheduling order;
+ *  - all workers share one BaselineCache, so each unique workload's
+ *    no-security baseline is simulated exactly once (call_once) and
+ *    every cell normalizes against the same bits;
+ *  - results land in a pre-sized vector slot per cell, so the output
+ *    order is the grid order regardless of completion order.
+ *
+ * The structured results sink (writeSweepJson) is what the figure
+ * benches and the golden-metrics test tier consume; its byte output
+ * is a pure function of the grid, which is how the "--jobs 1 ==
+ * --jobs N" acceptance test can diff whole files.
+ */
+
+#ifndef SHMGPU_CORE_SWEEP_HH
+#define SHMGPU_CORE_SWEEP_HH
+
+#include <atomic>
+#include <iosfwd>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/json.hh"
+#include "core/experiment.hh"
+
+namespace shmgpu::core
+{
+
+/** One grid cell: simulate @p scheme on @p spec. */
+struct SweepCell
+{
+    schemes::Scheme scheme = schemes::Scheme::Baseline;
+    /** Not owned; must outlive the sweep. */
+    const workload::WorkloadSpec *spec = nullptr;
+};
+
+/** Thrown by SweepRunner::run when the cancel token fires. */
+class SweepCancelled : public std::runtime_error
+{
+  public:
+    SweepCancelled() : std::runtime_error("sweep cancelled") {}
+};
+
+/** Options for one sweep. */
+struct SweepOptions
+{
+    /** Worker threads; 0 means std::thread::hardware_concurrency(). */
+    unsigned jobs = 1;
+    /** Per-cell run options (accuracy collection etc.). */
+    RunOptions run;
+    /**
+     * Optional cooperative cancel token. Setting it true stops
+     * workers at the next cell boundary and makes run() throw
+     * SweepCancelled (in-flight cells finish first).
+     */
+    std::shared_ptr<std::atomic<bool>> cancel;
+};
+
+/** Thread-pool executor for experiment grids. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(const gpu::GpuParams &gpu_params = {},
+                         const gpu::EnergyParams &energy_params = {});
+    virtual ~SweepRunner() = default;
+
+    /**
+     * Run the full @p schemes x @p workloads grid. Results are in
+     * workload-major order (all schemes of workloads[0] first),
+     * independent of the job count.
+     *
+     * The first cell failure (by grid order) is rethrown after the
+     * pool drains; remaining unstarted cells are abandoned.
+     */
+    std::vector<ExperimentResult>
+    run(const std::vector<schemes::Scheme> &schemes,
+        const std::vector<const workload::WorkloadSpec *> &workloads,
+        const SweepOptions &options = {}) const;
+
+    /** Run an explicit cell list (ragged grids, ablations). */
+    std::vector<ExperimentResult>
+    runCells(const std::vector<SweepCell> &cells,
+             const SweepOptions &options = {}) const;
+
+    const gpu::GpuParams &gpuParams() const
+    {
+        return baselines->gpuParams();
+    }
+    const std::shared_ptr<BaselineCache> &baselineCache() const
+    {
+        return baselines;
+    }
+
+  protected:
+    /** Seam for tests (exception injection); default delegates to
+     *  Experiment::run. */
+    virtual ExperimentResult runCell(const Experiment &experiment,
+                                     const SweepCell &cell,
+                                     const RunOptions &options) const;
+
+  private:
+    gpu::EnergyParams energyConfig;
+    std::shared_ptr<BaselineCache> baselines;
+};
+
+/** One result as a JSON object (all metrics, fixed member order). */
+json::Value resultToJson(const ExperimentResult &result);
+
+/**
+ * The full results document: {"schemaVersion", "results": [...]}
+ * plus per-scheme geomean summaries. Deterministic: depends only on
+ * the result list, never on job count or timing.
+ */
+json::Value sweepToJson(const std::vector<ExperimentResult> &results);
+
+/** Serialize sweepToJson with a trailing newline (the --out sink). */
+void writeSweepJson(std::ostream &os,
+                    const std::vector<ExperimentResult> &results);
+
+} // namespace shmgpu::core
+
+#endif // SHMGPU_CORE_SWEEP_HH

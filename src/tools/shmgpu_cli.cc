@@ -18,6 +18,12 @@
  *
  *   shmgpu trace info --in FILE
  *       Print a trace file's header and per-kernel op counts.
+ *
+ *   shmgpu sweep [--workloads a,b,c] [--schemes X,Y] [--jobs N]
+ *                [--cycles N] [--out results.json]
+ *       Run a (scheme x workload) grid on a worker pool and emit the
+ *       structured JSON results sink. Output is bit-identical for any
+ *       --jobs value.
  */
 
 #include <cstdio>
@@ -29,6 +35,7 @@
 #include "common/logging.hh"
 #include "core/experiment.hh"
 #include "core/overrides.hh"
+#include "core/sweep.hh"
 #include "gpu/presets.hh"
 #include "gpu/simulator.hh"
 #include "workload/parser.hh"
@@ -76,11 +83,14 @@ class Args
 int
 usage()
 {
-    std::puts("usage: shmgpu <list|run|trace> [flags]\n"
+    std::puts("usage: shmgpu <list|run|sweep|trace> [flags]\n"
               "  shmgpu list\n"
               "  shmgpu run (--workload NAME | --spec FILE) [--scheme SHM]"
               " [--gpu turing|big|test] [--cycles N] [--overrides CFG]"
               " [--stats FILE] [--json FILE] [--accuracy]\n"
+              "  shmgpu sweep [--workloads a,b,c|all] [--schemes X,Y|all]"
+              " [--jobs N] [--gpu turing|big|test] [--cycles N]"
+              " [--overrides CFG] [--out FILE] [--quiet]\n"
               "  shmgpu trace record --workload NAME --out FILE"
               " [--sms N]\n"
               "  shmgpu trace run --in FILE [--scheme SHM] [--cycles N]\n"
@@ -190,6 +200,84 @@ cmdRun(const Args &args)
     return 0;
 }
 
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        std::size_t comma = csv.find(',', start);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > start)
+            out.push_back(csv.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+int
+cmdSweep(const Args &args)
+{
+    std::vector<const workload::WorkloadSpec *> workloads;
+    std::string workload_list = args.get("workloads", "all");
+    if (workload_list == "all") {
+        for (const auto &w : workload::allWorkloads())
+            workloads.push_back(&w);
+    } else {
+        for (const auto &name : splitList(workload_list))
+            workloads.push_back(&workload::findWorkload(name));
+    }
+    if (workloads.empty())
+        shm_fatal("sweep selects no workloads");
+
+    std::vector<schemes::Scheme> designs;
+    std::string scheme_list = args.get("schemes", "all");
+    if (scheme_list == "all") {
+        designs = schemes::allSchemes();
+    } else {
+        for (const auto &name : splitList(scheme_list))
+            designs.push_back(schemes::schemeFromName(name));
+    }
+    if (designs.empty())
+        shm_fatal("sweep selects no schemes");
+
+    core::SweepOptions sweep_opts;
+    sweep_opts.jobs = static_cast<unsigned>(
+        std::stoul(args.get("jobs", "1")));
+    sweep_opts.run.collectAccuracy = args.has("accuracy");
+
+    if (args.has("quiet"))
+        log_detail::setVerbose(false);
+
+    core::SweepRunner runner(gpuParamsFrom(args));
+    auto results = runner.run(designs, workloads, sweep_opts);
+
+    if (!args.has("quiet")) {
+        for (const auto &r : results)
+            printSummary(r);
+        std::map<std::string, std::vector<double>> by_scheme;
+        for (const auto &r : results)
+            by_scheme[r.scheme].push_back(r.normalizedIpc);
+        for (auto s : designs) {
+            const auto &col = by_scheme[schemes::schemeName(s)];
+            std::printf("geomean %-16s normIPC=%.3f\n",
+                        schemes::schemeName(s), core::geomean(col));
+        }
+    }
+
+    std::string out = args.get("out");
+    if (!out.empty()) {
+        std::ofstream os(out, std::ios::binary);
+        if (!os)
+            shm_fatal("cannot open '{}' for writing", out);
+        core::writeSweepJson(os, results);
+        std::printf("sweep results written to %s (%zu cells)\n",
+                    out.c_str(), results.size());
+    }
+    return 0;
+}
+
 int
 cmdTrace(const Args &args, const std::string &sub)
 {
@@ -252,6 +340,8 @@ main(int argc, char **argv)
         return cmdList();
     if (cmd == "run")
         return cmdRun(Args(argc, argv, 2));
+    if (cmd == "sweep")
+        return cmdSweep(Args(argc, argv, 2));
     if (cmd == "trace") {
         if (argc < 3)
             return usage();

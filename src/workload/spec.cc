@@ -1,5 +1,7 @@
 #include "workload/spec.hh"
 
+#include <cstring>
+
 #include "common/bitops.hh"
 #include "common/logging.hh"
 
@@ -80,6 +82,99 @@ footprintBytes(const WorkloadSpec &spec)
     if (offsets.empty())
         return 0;
     return offsets.back() + spec.buffers.back().bytes;
+}
+
+namespace
+{
+
+/** Order- and field-sensitive FNV-1a accumulator. */
+class SpecHasher
+{
+  public:
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            state ^= p[i];
+            state *= 0x100000001B3ull;
+        }
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size()); // length prefix keeps "ab","c" != "a","bc"
+        bytes(s.data(), s.size());
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        // Feed a fixed little-endian image so the hash is
+        // platform-stable (golden files cross compilers).
+        unsigned char img[8];
+        for (int i = 0; i < 8; ++i)
+            img[i] = static_cast<unsigned char>(v >> (8 * i));
+        bytes(img, sizeof(img));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t img;
+        static_assert(sizeof(img) == sizeof(v));
+        std::memcpy(&img, &v, sizeof(img));
+        u64(img);
+    }
+
+    std::uint64_t value() const { return state; }
+
+  private:
+    std::uint64_t state = 0xCBF29CE484222325ull;
+};
+
+} // namespace
+
+std::uint64_t
+contentHash(const WorkloadSpec &spec)
+{
+    SpecHasher h;
+    h.str(spec.name);
+    h.str(spec.suite);
+    h.u64(spec.seed);
+    h.u64(spec.buffers.size());
+    for (const auto &buf : spec.buffers) {
+        h.str(buf.name);
+        h.u64(buf.bytes);
+        h.u64(static_cast<std::uint64_t>(buf.space));
+    }
+    h.u64(spec.kernels.size());
+    for (const auto &k : spec.kernels) {
+        h.str(k.name);
+        h.u64(k.iterationsPerSm);
+        h.u64(k.computePerMem);
+        h.u64(k.maxOutstanding);
+        h.u64(k.streams.size());
+        for (const auto &st : k.streams) {
+            h.u64(st.buffer);
+            h.u64(static_cast<std::uint64_t>(st.pattern));
+            h.u64(st.write ? 1 : 0);
+            h.f64(st.prob);
+            h.f64(st.hotFraction);
+            h.f64(st.hotProb);
+            h.u64(st.strideSectors);
+        }
+        h.u64(k.preCopies.size());
+        for (const auto &copy : k.preCopies) {
+            h.u64(copy.buffer);
+            h.u64(copy.marksReadOnly ? 1 : 0);
+            h.u64(copy.declaredReadOnly ? 1 : 0);
+        }
+    }
+    // bwUtilLo/bwUtilHi/specialSpaces are documentation-only fields
+    // that never reach the simulator, so they stay out of the hash.
+    return h.value();
 }
 
 } // namespace shmgpu::workload

@@ -125,6 +125,15 @@ std::vector<Addr> layoutBuffers(const WorkloadSpec &spec,
 /** Total device footprint of a workload (end of last buffer). */
 Addr footprintBytes(const WorkloadSpec &spec);
 
+/**
+ * FNV-1a hash over every simulation-relevant field of @p spec (name,
+ * suite, buffers, copies, streams, kernel parameters, seed). Two
+ * specs with equal hashes simulate identically; two specs that merely
+ * share a name do not collide. Used to key baseline caches so that
+ * regenerated parameter sweeps reusing a workload name cannot alias.
+ */
+std::uint64_t contentHash(const WorkloadSpec &spec);
+
 } // namespace shmgpu::workload
 
 #endif // SHMGPU_WORKLOAD_SPEC_HH

@@ -44,6 +44,77 @@ TEST(Experiment, BaselineIsCachedAcrossRuns)
     EXPECT_EQ(&b1, &b2);
 }
 
+TEST(Experiment, BaselineCacheDoesNotAliasSpecsSharingAName)
+{
+    // Two distinct specs under one name: the regenerated-parameter-
+    // sweep scenario that used to alias in the name-keyed cache.
+    Experiment exp(quickParams());
+    auto small = workload::makeStreamingMicro(1 << 20, 1024);
+    auto large = workload::makeStreamingMicro(8 << 20, 4096);
+    ASSERT_EQ(small.name, large.name);
+    ASSERT_NE(workload::contentHash(small),
+              workload::contentHash(large));
+
+    const auto &b_small = exp.baselineFor(small);
+    const auto &b_large = exp.baselineFor(large);
+    EXPECT_NE(&b_small, &b_large);
+    EXPECT_NE(b_small.instructions, b_large.instructions);
+
+    // And the cached entries stay stable after both exist.
+    EXPECT_EQ(&exp.baselineFor(small), &b_small);
+    EXPECT_EQ(&exp.baselineFor(large), &b_large);
+    EXPECT_EQ(exp.baselineCache()->size(), 2u);
+}
+
+TEST(Experiment, ContentEqualSpecsShareABaselineWhateverTheObject)
+{
+    Experiment exp(quickParams());
+    auto a = workload::makeStreamingMicro(1 << 20, 1024);
+    auto b = workload::makeStreamingMicro(1 << 20, 1024);
+    EXPECT_EQ(workload::contentHash(a), workload::contentHash(b));
+    EXPECT_EQ(&exp.baselineFor(a), &exp.baselineFor(b));
+    EXPECT_EQ(exp.baselineCache()->size(), 1u);
+}
+
+TEST(Experiment, SharedBaselineCacheSpansExperiments)
+{
+    auto cache = std::make_shared<BaselineCache>(quickParams());
+    Experiment exp1(cache);
+    Experiment exp2(cache);
+    auto w = workload::makeRandomMicro();
+    EXPECT_EQ(&exp1.baselineFor(w), &exp2.baselineFor(w));
+    EXPECT_EQ(cache->size(), 1u);
+}
+
+TEST(WorkloadContentHash, SensitiveToEverySimulationField)
+{
+    auto base = workload::makeMixedMicro();
+    const auto h0 = workload::contentHash(base);
+
+    auto w = base;
+    w.seed += 1;
+    EXPECT_NE(workload::contentHash(w), h0);
+
+    w = base;
+    w.buffers[0].bytes *= 2;
+    EXPECT_NE(workload::contentHash(w), h0);
+
+    w = base;
+    w.kernels[0].streams[0].prob *= 0.5;
+    EXPECT_NE(workload::contentHash(w), h0);
+
+    w = base;
+    w.kernels[0].computePerMem += 1;
+    EXPECT_NE(workload::contentHash(w), h0);
+
+    // Documentation-only fields must NOT change the hash: they never
+    // reach the simulator, so they must not split the cache.
+    w = base;
+    w.bwUtilLo = 0.123;
+    w.specialSpaces = "different";
+    EXPECT_EQ(workload::contentHash(w), h0);
+}
+
 TEST(Experiment, EnergyNormalizationAboveOneForSecureSchemes)
 {
     Experiment exp(quickParams());

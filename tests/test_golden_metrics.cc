@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Golden-metrics regression tier: the seed-state normalizedIpc /
+ * overhead / metadata-overhead numbers for a small scheme x workload
+ * grid are pinned in tests/golden/golden_metrics.json. Any simulator
+ * change that moves a metric by more than 1e-9 fails here, so paper
+ * numbers cannot drift silently through refactors.
+ *
+ * Regenerate after an *intentional* behaviour change with:
+ *
+ *   SHMGPU_UPDATE_GOLDEN=1 ./build/tests/test_golden_metrics
+ *
+ * then review the JSON diff like any other code change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "core/sweep.hh"
+
+using namespace shmgpu;
+using namespace shmgpu::core;
+
+#ifndef SHMGPU_GOLDEN_DIR
+#error "build must define SHMGPU_GOLDEN_DIR"
+#endif
+
+namespace
+{
+
+constexpr double kTolerance = 1e-9;
+
+std::string
+goldenPath()
+{
+    return std::string(SHMGPU_GOLDEN_DIR) + "/golden_metrics.json";
+}
+
+/** The pinned grid. Changing it invalidates the golden file. */
+std::vector<ExperimentResult>
+runPinnedGrid()
+{
+    gpu::GpuParams params;
+    params.maxCyclesPerKernel = 20000;
+
+    const std::vector<schemes::Scheme> designs = {
+        schemes::Scheme::Naive, schemes::Scheme::Pssm,
+        schemes::Scheme::Shm};
+    workload::WorkloadSpec stream = workload::makeStreamingMicro();
+    workload::WorkloadSpec random = workload::makeRandomMicro();
+    workload::WorkloadSpec mixed = workload::makeMixedMicro();
+
+    SweepRunner runner(params);
+    return runner.run(designs, {&stream, &random, &mixed}, {});
+}
+
+json::Value
+goldenFromResults(const std::vector<ExperimentResult> &results)
+{
+    json::Value doc = json::Value::object();
+    doc["comment"] = json::Value(
+        "Pinned seed-state metrics; regenerate with "
+        "SHMGPU_UPDATE_GOLDEN=1 ./build/tests/test_golden_metrics");
+    doc["maxCyclesPerKernel"] = json::Value(20000);
+    json::Value arr = json::Value::array();
+    for (const auto &r : results) {
+        json::Value cell = json::Value::object();
+        cell["workload"] = json::Value(r.workload);
+        cell["scheme"] = json::Value(r.scheme);
+        cell["normalizedIpc"] = json::Value(r.normalizedIpc);
+        cell["overhead"] = json::Value(r.overhead());
+        cell["normalizedEnergyPerInstr"] =
+            json::Value(r.normalizedEnergyPerInstr);
+        cell["metadataOverhead"] =
+            json::Value(r.metrics.metadataOverhead());
+        cell["baselineIpc"] = json::Value(r.baseline.ipc);
+        arr.append(std::move(cell));
+    }
+    doc["cells"] = std::move(arr);
+    return doc;
+}
+
+bool
+updateRequested()
+{
+    const char *env = std::getenv("SHMGPU_UPDATE_GOLDEN");
+    return env != nullptr && env[0] != '\0' &&
+           std::string(env) != "0";
+}
+
+} // namespace
+
+TEST(GoldenMetrics, SeedGridMatchesGoldenFile)
+{
+    auto results = runPinnedGrid();
+    json::Value current = goldenFromResults(results);
+
+    if (updateRequested()) {
+        std::ofstream os(goldenPath(), std::ios::binary);
+        ASSERT_TRUE(os) << "cannot write " << goldenPath();
+        current.write(os, 2);
+        os << "\n";
+        GTEST_SKIP() << "golden file regenerated at " << goldenPath();
+    }
+
+    json::Value golden = json::Value::parseFile(goldenPath());
+    const auto &want = golden.at("cells");
+    const auto &got = current.at("cells");
+    ASSERT_EQ(got.size(), want.size())
+        << "grid shape changed; regenerate the golden file";
+
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        const auto &w = want.at(i);
+        const auto &g = got.at(i);
+        SCOPED_TRACE(w.at("workload").asString() + "/" +
+                     w.at("scheme").asString());
+        ASSERT_EQ(g.at("workload").asString(),
+                  w.at("workload").asString());
+        ASSERT_EQ(g.at("scheme").asString(), w.at("scheme").asString());
+        for (const char *metric :
+             {"normalizedIpc", "overhead", "normalizedEnergyPerInstr",
+              "metadataOverhead", "baselineIpc"}) {
+            EXPECT_NEAR(g.at(metric).asNumber(),
+                        w.at(metric).asNumber(), kTolerance)
+                << metric << " drifted beyond 1e-9 — if intentional, "
+                << "regenerate with SHMGPU_UPDATE_GOLDEN=1";
+        }
+    }
+}
+
+TEST(GoldenMetrics, GoldenFileIsSelfConsistent)
+{
+    // Guard the golden file itself: parseable, right shape, sane
+    // ranges — catches hand-edits that would silently weaken the tier.
+    json::Value golden = json::Value::parseFile(goldenPath());
+    const auto &cells = golden.at("cells");
+    ASSERT_EQ(cells.size(), 9u);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &c = cells.at(i);
+        double n = c.at("normalizedIpc").asNumber();
+        EXPECT_GT(n, 0.0);
+        EXPECT_LE(n, 1.001);
+        EXPECT_NEAR(c.at("overhead").asNumber(), 1.0 - n, 1e-12);
+    }
+}

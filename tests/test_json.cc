@@ -1,0 +1,119 @@
+/**
+ * @file
+ * JSON document model tests: construction, deterministic
+ * serialization, round-tripping, and parse-error behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/json.hh"
+
+using namespace shmgpu;
+using json::Value;
+
+TEST(Json, ScalarKindsAndAccessors)
+{
+    EXPECT_TRUE(Value().isNull());
+    EXPECT_TRUE(Value(nullptr).isNull());
+    EXPECT_TRUE(Value(true).asBool());
+    EXPECT_EQ(Value(2.5).asNumber(), 2.5);
+    EXPECT_EQ(Value("hi").asString(), "hi");
+    EXPECT_EQ(Value(std::uint64_t{42}).asNumber(), 42.0);
+}
+
+TEST(Json, ObjectsKeepInsertionOrder)
+{
+    Value v = Value::object();
+    v["zebra"] = Value(1);
+    v["alpha"] = Value(2);
+    v["mid"] = Value(3);
+    EXPECT_EQ(v.dump(0), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+    EXPECT_TRUE(v.contains("alpha"));
+    EXPECT_FALSE(v.contains("beta"));
+    EXPECT_EQ(v.at("mid").asNumber(), 3.0);
+}
+
+TEST(Json, ArraysAppendAndIndex)
+{
+    Value v = Value::array();
+    v.append(Value(1));
+    v.append(Value("two"));
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v.at(0).asNumber(), 1.0);
+    EXPECT_EQ(v.at(1).asString(), "two");
+    EXPECT_EQ(v.dump(0), "[1,\"two\"]");
+}
+
+TEST(Json, PrettyPrintIsStable)
+{
+    Value v = Value::object();
+    v["a"] = Value(1);
+    Value inner = Value::array();
+    inner.append(Value(true));
+    v["b"] = inner;
+    EXPECT_EQ(v.dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}");
+}
+
+TEST(Json, NumbersRoundTripBitForBit)
+{
+    for (double d : {0.0, 1.0, -1.5, 0.1, 1.0 / 3.0, 1e-300, 6.02e23,
+                     0.6857477632316732}) {
+        Value parsed = Value::parse(json::numberToString(d));
+        EXPECT_EQ(parsed.asNumber(), d) << d;
+    }
+    // Integral doubles print without a fractional part.
+    EXPECT_EQ(json::numberToString(40000.0), "40000");
+    EXPECT_EQ(json::numberToString(-3.0), "-3");
+}
+
+TEST(Json, StringsEscapeAndParseBack)
+{
+    Value v("line\n\ttab \"quoted\" back\\slash");
+    Value parsed = Value::parse(v.dump(0));
+    EXPECT_EQ(parsed.asString(), v.asString());
+}
+
+TEST(Json, ParsesNestedDocuments)
+{
+    Value v = Value::parse(
+        R"({"results": [{"ipc": 11.25, "ok": true}, null],
+            "count": 2})");
+    EXPECT_EQ(v.at("count").asNumber(), 2.0);
+    EXPECT_EQ(v.at("results").size(), 2u);
+    EXPECT_EQ(v.at("results").at(0).at("ipc").asNumber(), 11.25);
+    EXPECT_TRUE(v.at("results").at(1).isNull());
+}
+
+TEST(Json, RoundTripPreservesWholeDocuments)
+{
+    Value v = Value::object();
+    v["name"] = Value("micro-stream");
+    v["normalizedIpc"] = Value(0.9273181532108733);
+    Value arr = Value::array();
+    arr.append(Value(1));
+    arr.append(Value(2.75));
+    v["series"] = arr;
+    const std::string text = v.dump(2);
+    EXPECT_EQ(Value::parse(text).dump(2), text);
+}
+
+TEST(Json, ParseErrorsAreFatal)
+{
+    EXPECT_DEATH(Value::parse("{\"unterminated\": "), "json parse");
+    EXPECT_DEATH(Value::parse("[1, 2] trailing"), "trailing");
+    EXPECT_DEATH(Value::parse("nope"), "json parse");
+}
+
+TEST(Json, KindMismatchesAreFatal)
+{
+    EXPECT_DEATH(Value(1.0).asString(), "not a string");
+    EXPECT_DEATH(Value("x").asNumber(), "not a number");
+    EXPECT_DEATH(Value::object().at(std::size_t{0}), "non-array");
+}
+
+TEST(Json, NonFiniteNumbersAreFatal)
+{
+    EXPECT_DEATH(Value(std::nan("")).dump(0), "non-finite");
+}

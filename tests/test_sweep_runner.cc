@@ -1,0 +1,263 @@
+/**
+ * @file
+ * SweepRunner tests: the determinism guarantee (identical metrics at
+ * any job count), exception propagation out of worker threads, and
+ * cooperative cancellation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/sweep.hh"
+
+using namespace shmgpu;
+using namespace shmgpu::core;
+
+namespace
+{
+
+gpu::GpuParams
+quickParams()
+{
+    gpu::GpuParams p;
+    p.maxCyclesPerKernel = 20000;
+    return p;
+}
+
+/** A 3-scheme x 3-workload grid over the micro workloads. */
+struct Grid
+{
+    std::vector<schemes::Scheme> designs = {
+        schemes::Scheme::Naive, schemes::Scheme::Pssm,
+        schemes::Scheme::Shm};
+    workload::WorkloadSpec stream = workload::makeStreamingMicro();
+    workload::WorkloadSpec random = workload::makeRandomMicro();
+    workload::WorkloadSpec mixed = workload::makeMixedMicro();
+    std::vector<const workload::WorkloadSpec *> workloads = {
+        &stream, &random, &mixed};
+};
+
+std::vector<ExperimentResult>
+runWithJobs(unsigned jobs)
+{
+    Grid grid;
+    SweepRunner runner(quickParams());
+    SweepOptions opts;
+    opts.jobs = jobs;
+    return runner.run(grid.designs, grid.workloads, opts);
+}
+
+void
+expectMetricsIdentical(const gpu::RunMetrics &a, const gpu::RunMetrics &b)
+{
+    // Exact comparisons on purpose: the claim is bit-for-bit
+    // determinism, not approximate agreement.
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.bytesData, b.bytesData);
+    EXPECT_EQ(a.bytesCounter, b.bytesCounter);
+    EXPECT_EQ(a.bytesMac, b.bytesMac);
+    EXPECT_EQ(a.bytesBmt, b.bytesBmt);
+    EXPECT_EQ(a.bytesExtra, b.bytesExtra);
+    EXPECT_EQ(a.bandwidthUtilization, b.bandwidthUtilization);
+    EXPECT_EQ(a.l2MissRate, b.l2MissRate);
+    EXPECT_EQ(a.sharedCtrReads, b.sharedCtrReads);
+    EXPECT_EQ(a.commonCtrHits, b.commonCtrHits);
+    EXPECT_EQ(a.chunkMacAccesses, b.chunkMacAccesses);
+    EXPECT_EQ(a.blockMacAccesses, b.blockMacAccesses);
+    EXPECT_EQ(a.energy.dramBytes, b.energy.dramBytes);
+    EXPECT_EQ(a.energy.aesBlocks, b.energy.aesBlocks);
+    EXPECT_EQ(a.energy.hashes, b.energy.hashes);
+}
+
+} // namespace
+
+TEST(SweepRunner, ResultsAreInWorkloadMajorGridOrder)
+{
+    auto results = runWithJobs(1);
+    ASSERT_EQ(results.size(), 9u);
+    EXPECT_EQ(results[0].workload, "micro-stream");
+    EXPECT_EQ(results[0].scheme, "Naive");
+    EXPECT_EQ(results[1].scheme, "PSSM");
+    EXPECT_EQ(results[2].scheme, "SHM");
+    EXPECT_EQ(results[3].workload, "micro-random");
+    EXPECT_EQ(results[8].workload, "micro-mixed");
+    EXPECT_EQ(results[8].scheme, "SHM");
+}
+
+TEST(SweepRunner, JobCountDoesNotChangeAnyMetric)
+{
+    auto serial = runWithJobs(1);
+    auto parallel = runWithJobs(8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(serial[i].workload + "/" + serial[i].scheme);
+        EXPECT_EQ(serial[i].workload, parallel[i].workload);
+        EXPECT_EQ(serial[i].scheme, parallel[i].scheme);
+        EXPECT_EQ(serial[i].normalizedIpc, parallel[i].normalizedIpc);
+        EXPECT_EQ(serial[i].normalizedEnergyPerInstr,
+                  parallel[i].normalizedEnergyPerInstr);
+        expectMetricsIdentical(serial[i].metrics, parallel[i].metrics);
+        expectMetricsIdentical(serial[i].baseline, parallel[i].baseline);
+    }
+}
+
+TEST(SweepRunner, JsonSinkIsBitIdenticalAcrossJobCounts)
+{
+    std::ostringstream serial, parallel;
+    writeSweepJson(serial, runWithJobs(1));
+    writeSweepJson(parallel, runWithJobs(8));
+    EXPECT_EQ(serial.str(), parallel.str());
+}
+
+TEST(SweepRunner, SharedBaselineCacheSimulatesEachSpecOnce)
+{
+    Grid grid;
+    SweepRunner runner(quickParams());
+    SweepOptions opts;
+    opts.jobs = 4;
+    runner.run(grid.designs, grid.workloads, opts);
+    EXPECT_EQ(runner.baselineCache()->size(), 3u);
+}
+
+TEST(SweepRunner, MatchesDirectExperimentRuns)
+{
+    Grid grid;
+    auto results = runWithJobs(8);
+    Experiment exp(quickParams());
+    auto direct = exp.run(schemes::Scheme::Pssm, grid.random);
+    // Cell (micro-random, PSSM) is index 1*3 + 1.
+    EXPECT_EQ(results[4].normalizedIpc, direct.normalizedIpc);
+    expectMetricsIdentical(results[4].metrics, direct.metrics);
+}
+
+namespace
+{
+
+/** Runner whose cells throw for one scheme — the exception seam. */
+class ThrowingRunner : public SweepRunner
+{
+  public:
+    using SweepRunner::SweepRunner;
+    schemes::Scheme poison = schemes::Scheme::Pssm;
+    mutable std::atomic<int> cellsRun{0};
+
+  protected:
+    ExperimentResult
+    runCell(const Experiment &experiment, const SweepCell &cell,
+            const RunOptions &options) const override
+    {
+        ++cellsRun;
+        if (cell.scheme == poison)
+            throw std::runtime_error("injected cell failure");
+        return SweepRunner::runCell(experiment, cell, options);
+    }
+};
+
+} // namespace
+
+TEST(SweepRunner, PropagatesCellExceptionsFromWorkers)
+{
+    Grid grid;
+    ThrowingRunner runner(quickParams());
+    SweepOptions opts;
+    opts.jobs = 4;
+    EXPECT_THROW(
+        {
+            try {
+                runner.run(grid.designs, grid.workloads, opts);
+            } catch (const std::runtime_error &e) {
+                EXPECT_STREQ(e.what(), "injected cell failure");
+                throw;
+            }
+        },
+        std::runtime_error);
+}
+
+TEST(SweepRunner, FirstFailureAbandonsUnstartedCells)
+{
+    Grid grid;
+    ThrowingRunner runner(quickParams());
+    runner.poison = schemes::Scheme::Naive; // cell 0 fails immediately
+    SweepOptions opts;
+    opts.jobs = 1; // serial: deterministic count
+    EXPECT_THROW(runner.run(grid.designs, grid.workloads, opts),
+                 std::runtime_error);
+    EXPECT_EQ(runner.cellsRun.load(), 1);
+}
+
+TEST(SweepRunner, CancelTokenStopsTheSweep)
+{
+    Grid grid;
+    SweepRunner runner(quickParams());
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.cancel = std::make_shared<std::atomic<bool>>(true);
+    EXPECT_THROW(runner.run(grid.designs, grid.workloads, opts),
+                 SweepCancelled);
+}
+
+namespace
+{
+
+/** Runner that flips the cancel token after the first cell. */
+class SelfCancellingRunner : public SweepRunner
+{
+  public:
+    using SweepRunner::SweepRunner;
+    std::shared_ptr<std::atomic<bool>> token =
+        std::make_shared<std::atomic<bool>>(false);
+    mutable std::atomic<int> cellsRun{0};
+
+  protected:
+    ExperimentResult
+    runCell(const Experiment &experiment, const SweepCell &cell,
+            const RunOptions &options) const override
+    {
+        ++cellsRun;
+        auto r = SweepRunner::runCell(experiment, cell, options);
+        token->store(true);
+        return r;
+    }
+};
+
+} // namespace
+
+TEST(SweepRunner, MidSweepCancellationAbandonsRemainingCells)
+{
+    Grid grid;
+    SelfCancellingRunner runner(quickParams());
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.cancel = runner.token;
+    EXPECT_THROW(runner.run(grid.designs, grid.workloads, opts),
+                 SweepCancelled);
+    EXPECT_EQ(runner.cellsRun.load(), 1);
+}
+
+TEST(SweepRunner, EmptyGridReturnsNoResults)
+{
+    SweepRunner runner(quickParams());
+    EXPECT_TRUE(runner.run({}, {}, {}).empty());
+    EXPECT_TRUE(runner.runCells({}, {}).empty());
+}
+
+TEST(SweepRunner, RunCellsSupportsRaggedGrids)
+{
+    Grid grid;
+    SweepRunner runner(quickParams());
+    std::vector<SweepCell> cells = {
+        {schemes::Scheme::Shm, &grid.stream},
+        {schemes::Scheme::Naive, &grid.mixed},
+    };
+    auto results = runner.runCells(cells, {});
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].workload, "micro-stream");
+    EXPECT_EQ(results[0].scheme, "SHM");
+    EXPECT_EQ(results[1].workload, "micro-mixed");
+    EXPECT_EQ(results[1].scheme, "Naive");
+}
