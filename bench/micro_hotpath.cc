@@ -1,0 +1,154 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot-path containers and
+ * index math introduced by the performance rework: FlatMap vs.
+ * std::unordered_map on the MSHR churn pattern, DaryHeap vs.
+ * std::priority_queue on the completion-retirement pattern, and the
+ * shift/mask address mapping. These isolate the per-structure wins
+ * that `shmgpu bench-self` measures end to end.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/dary_heap.hh"
+#include "common/flat_map.hh"
+#include "mem/addr_map.hh"
+#include "mem/cache.hh"
+
+using namespace shmgpu;
+
+namespace
+{
+
+/** The MSHR lifecycle: insert, a few merging finds, erase. */
+struct MshrLike
+{
+    std::uint32_t pendingMask = 0;
+    std::uint32_t merged = 0;
+};
+
+constexpr std::size_t liveEntries = 256; // an MSHR file's worth
+
+} // namespace
+
+static void
+BM_FlatMapMshrChurn(benchmark::State &state)
+{
+    FlatMap<MshrLike> table;
+    table.reserve(liveEntries);
+    std::uint64_t key = 0;
+    for (auto _ : state) {
+        table.emplace(key, MshrLike{0xF, 1});
+        for (int probe = 0; probe < 4; ++probe)
+            benchmark::DoNotOptimize(table.find(key));
+        table.erase(key);
+        key += 128;
+    }
+}
+BENCHMARK(BM_FlatMapMshrChurn);
+
+static void
+BM_UnorderedMapMshrChurn(benchmark::State &state)
+{
+    std::unordered_map<std::uint64_t, MshrLike> table;
+    table.reserve(liveEntries);
+    std::uint64_t key = 0;
+    for (auto _ : state) {
+        table.emplace(key, MshrLike{0xF, 1});
+        for (int probe = 0; probe < 4; ++probe)
+            benchmark::DoNotOptimize(table.find(key));
+        table.erase(key);
+        key += 128;
+    }
+}
+BENCHMARK(BM_UnorderedMapMshrChurn);
+
+static void
+BM_FlatMapHitLookup(benchmark::State &state)
+{
+    FlatMap<std::uint32_t> table;
+    for (std::uint64_t k = 0; k < liveEntries; ++k)
+        table.emplace(k * 128, static_cast<std::uint32_t>(k));
+    std::uint64_t key = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.find(key % (liveEntries * 128)));
+        key += 128;
+    }
+}
+BENCHMARK(BM_FlatMapHitLookup);
+
+static void
+BM_DaryHeapCompletions(benchmark::State &state)
+{
+    // The SM completion pattern: a window of in-flight loads, push one
+    // and pop the earliest each step.
+    using Completion = std::pair<Cycle, SmId>;
+    DaryHeap<Completion> heap;
+    heap.reserve(1024);
+    Cycle now = 0;
+    for (SmId sm = 0; sm < 30; ++sm)
+        heap.emplace(now + 100 + sm * 7, sm);
+    for (auto _ : state) {
+        ++now;
+        heap.emplace(now + 100 + now % 97, static_cast<SmId>(now % 30));
+        benchmark::DoNotOptimize(heap.top());
+        heap.pop();
+    }
+}
+BENCHMARK(BM_DaryHeapCompletions);
+
+static void
+BM_PriorityQueueCompletions(benchmark::State &state)
+{
+    using Completion = std::pair<Cycle, SmId>;
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<>>
+        heap;
+    Cycle now = 0;
+    for (SmId sm = 0; sm < 30; ++sm)
+        heap.emplace(now + 100 + sm * 7, sm);
+    for (auto _ : state) {
+        ++now;
+        heap.emplace(now + 100 + now % 97, static_cast<SmId>(now % 30));
+        benchmark::DoNotOptimize(heap.top());
+        heap.pop();
+    }
+}
+BENCHMARK(BM_PriorityQueueCompletions);
+
+static void
+BM_AddressMapToLocal(benchmark::State &state)
+{
+    mem::AddressMap map(12, 256);
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.toLocal(addr += 32));
+    }
+}
+BENCHMARK(BM_AddressMapToLocal);
+
+static void
+BM_CacheAccessHitHot(benchmark::State &state)
+{
+    // Pure tag-scan hit path over the split hot/cold line metadata.
+    mem::CacheParams p;
+    p.sizeBytes = 128 * 1024;
+    p.assoc = 16;
+    mem::SectoredCache cache(p);
+    for (Addr a = 0; a < 64 * 128; a += 128)
+        cache.fill(a, 0xF);
+    Addr addr = 0;
+    for (auto _ : state) {
+        auto r = cache.access(addr, 32, false);
+        benchmark::DoNotOptimize(r);
+        addr = (addr + 128) % (64 * 128);
+    }
+}
+BENCHMARK(BM_CacheAccessHitHot);
+
+BENCHMARK_MAIN();

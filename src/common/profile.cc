@@ -1,0 +1,84 @@
+#include "common/profile.hh"
+
+#include <array>
+#include <ostream>
+#include <string>
+
+namespace shmgpu::profile
+{
+
+namespace
+{
+
+constexpr std::size_t numPhases =
+    static_cast<std::size_t>(Phase::NumPhases);
+
+std::atomic<bool> profileEnabled{false};
+std::array<std::atomic<std::uint64_t>, numPhases> phaseNanos{};
+
+constexpr const char *phaseNames[numPhases] = {
+    "init", "kernel_loop", "meta_path"};
+
+} // namespace
+
+bool
+enabled()
+{
+    return profileEnabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    profileEnabled.store(on, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    for (auto &acc : phaseNanos)
+        acc.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+nanos(Phase phase)
+{
+    return phaseNanos[static_cast<std::size_t>(phase)].load(
+        std::memory_order_relaxed);
+}
+
+void
+add(Phase phase, std::uint64_t ns)
+{
+    phaseNanos[static_cast<std::size_t>(phase)].fetch_add(
+        ns, std::memory_order_relaxed);
+}
+
+void
+report(std::ostream &os)
+{
+    // MetaPath nests inside KernelLoop, so the loop total is the
+    // denominator for its share; Init is disjoint.
+    double init_s = static_cast<double>(nanos(Phase::Init)) * 1e-9;
+    double loop_s = static_cast<double>(nanos(Phase::KernelLoop)) * 1e-9;
+    double meta_s = static_cast<double>(nanos(Phase::MetaPath)) * 1e-9;
+    double total = init_s + loop_s;
+
+    os << "phase profile (accumulated wall time):\n";
+    auto line = [&os](const char *name, double secs, double share) {
+        os << "  " << name;
+        for (std::size_t pad = 0; pad + std::char_traits<char>::length(name)
+                 < 14; ++pad)
+            os << ' ';
+        os << secs << " s";
+        if (share >= 0)
+            os << "  (" << share * 100 << "%)";
+        os << "\n";
+    };
+    line(phaseNames[0], init_s, total > 0 ? init_s / total : 0);
+    line(phaseNames[1], loop_s, total > 0 ? loop_s / total : 0);
+    line(phaseNames[2], meta_s, loop_s > 0 ? meta_s / loop_s : 0);
+    os << "  (meta_path share is of kernel_loop time)\n";
+}
+
+} // namespace shmgpu::profile

@@ -15,9 +15,9 @@
 #define SHMGPU_GPU_SIMULATOR_HH
 
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "common/dary_heap.hh"
 #include "common/stats.hh"
 #include "detect/oracle.hh"
 #include "gpu/metrics.hh"
@@ -79,6 +79,9 @@ class GpuSimulator : public mee::DramRouter
     struct SmUnit
     {
         workload::TraceOp op;
+        /** Partition mapping of op.addr, computed once at op fetch so
+         *  window-stall retries do not redo the address math. */
+        mem::PartitionAddr pa;
         bool hasOp = false;
         std::uint32_t computeLeft = 0;
         std::uint32_t outstanding = 0;
@@ -115,12 +118,13 @@ class GpuSimulator : public mee::DramRouter
     std::vector<SmUnit> sms;
 
     using Completion = std::pair<Cycle, SmId>;
-    std::priority_queue<Completion, std::vector<Completion>,
-                        std::greater<>>
-        completions;
+    /** Min-heap of in-flight load completions; pop order matches the
+     *  std::priority_queue<..., std::greater<>> it replaced. */
+    DaryHeap<Completion> completions;
 
     Cycle currentCycle = 0;
     std::uint32_t currentWindow = 0; //!< per-kernel occupancy cap
+    std::uint32_t drainedCount = 0;  //!< SMs whose trace is exhausted
     detect::AccessProfile *collector = nullptr;
 
     stats::StatGroup rootStats;

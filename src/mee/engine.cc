@@ -5,6 +5,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "common/profile.hh"
 
 namespace shmgpu::mee
 {
@@ -348,6 +349,7 @@ MeeEngine::attributeStreamPrediction(LocalAddr local, bool predicted_str)
 Cycle
 MeeEngine::onRead(LocalAddr local, Addr phys, Cycle now, MemSpace space)
 {
+    profile::ScopedTimer timer(profile::Phase::MetaPath);
     ++statReads;
     if (!config.secure)
         return now;
@@ -448,6 +450,7 @@ MeeEngine::onWrite(LocalAddr local, Addr phys, Cycle now, MemSpace space)
 {
     (void)space; // writes to static read-only spaces cannot happen
 
+    profile::ScopedTimer timer(profile::Phase::MetaPath);
     ++statWrites;
     if (!config.secure)
         return;

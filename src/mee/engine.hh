@@ -21,8 +21,8 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "detect/oracle.hh"
@@ -316,7 +316,7 @@ class MeeEngine
     detect::ReadOnlyDetector roDetector;
     detect::StreamingDetector streamDetector;
     std::vector<detect::DetectionEvent> eventScratch;
-    std::unordered_map<std::uint64_t, ChunkMacState> chunkMacStates;
+    FlatMap<ChunkMacState> chunkMacStates;
 
     stats::StatGroup statGroup;
     PredictionStats predStats;

@@ -1,5 +1,6 @@
 #include "mem/addr_map.hh"
 
+#include "common/bitops.hh"
 #include "common/logging.hh"
 
 namespace shmgpu::mem
@@ -12,6 +13,11 @@ AddressMap::AddressMap(unsigned num_partitions,
 {
     shm_assert(partitions > 0, "need at least one partition");
     shm_assert(stripeBytes > 0, "interleave granularity must be nonzero");
+    // Real stripe sizes are powers of two; take the shift/mask fast
+    // path in toLocal() when that holds (it always does today).
+    stripePow2 = isPowerOf2(stripeBytes);
+    stripeShift = stripePow2 ? floorLog2(stripeBytes) : 0;
+    stripeMask = stripePow2 ? stripeBytes - 1 : 0;
 }
 
 std::uint64_t
@@ -28,13 +34,24 @@ AddressMap::swizzle(std::uint64_t super_index) const
 PartitionAddr
 AddressMap::toLocal(Addr addr) const
 {
-    std::uint64_t stripe = addr / stripeBytes;
-    std::uint64_t offset = addr % stripeBytes;
+    std::uint64_t stripe, offset;
+    if (stripePow2) {
+        stripe = addr >> stripeShift;
+        offset = addr & stripeMask;
+    } else {
+        stripe = addr / stripeBytes;
+        offset = addr % stripeBytes;
+    }
     std::uint64_t super_index = stripe / partitions;
+    // stripe % partitions without a second divide.
+    std::uint64_t lane = stripe - super_index * partitions;
+
+    std::uint64_t selector = lane + swizzle(super_index);
+    if (selector >= partitions)
+        selector -= partitions;
 
     PartitionAddr out;
-    out.partition = static_cast<PartitionId>(
-        (stripe + swizzle(super_index)) % partitions);
+    out.partition = static_cast<PartitionId>(selector);
     out.local = super_index * stripeBytes + offset;
     return out;
 }

@@ -57,6 +57,10 @@ class AddressMap
     unsigned partitions;
     std::uint64_t stripeBytes;
     bool swizzleEnabled;
+    /** Shift/mask fast path for pow2 stripe sizes (the common case). */
+    bool stripePow2 = false;
+    unsigned stripeShift = 0;
+    std::uint64_t stripeMask = 0;
 };
 
 } // namespace shmgpu::mem

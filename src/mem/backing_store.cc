@@ -8,10 +8,9 @@ namespace shmgpu::mem
 crypto::DataBlock
 BackingStore::readBlock(Addr addr) const
 {
-    auto it = blocks.find(align(addr));
-    if (it == blocks.end())
-        return crypto::DataBlock{}; // zero-filled
-    return it->second;
+    if (const crypto::DataBlock *data = blocks.find(align(addr)))
+        return *data;
+    return crypto::DataBlock{}; // zero-filled
 }
 
 void

@@ -11,8 +11,8 @@
 #define SHMGPU_MEM_BACKING_STORE_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "crypto/ctr_mode.hh"
 
@@ -42,7 +42,7 @@ class BackingStore
   private:
     static Addr align(Addr addr) { return addr & ~Addr{127}; }
 
-    std::unordered_map<Addr, crypto::DataBlock> blocks;
+    FlatMap<crypto::DataBlock> blocks;
 };
 
 } // namespace shmgpu::mem

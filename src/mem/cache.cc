@@ -8,8 +8,14 @@ namespace shmgpu::mem
 
 SectoredCache::SectoredCache(const CacheParams &params) : config(params)
 {
-    shm_assert(isPowerOf2(config.blockBytes), "block size must be pow2");
-    shm_assert(isPowerOf2(config.sectorBytes), "sector size must be pow2");
+    // Every piece of index math below is shift/mask; a non-pow2
+    // geometry would silently index the wrong set, so fail loudly.
+    shm_assert(isPowerOf2(config.blockBytes),
+               "cache '{}': blockBytes must be a power of two (got {})",
+               config.name, config.blockBytes);
+    shm_assert(isPowerOf2(config.sectorBytes),
+               "cache '{}': sectorBytes must be a power of two (got {})",
+               config.name, config.sectorBytes);
     shm_assert(config.sectorBytes <= config.blockBytes,
                "sector larger than block");
     shm_assert(config.assoc > 0, "associativity must be nonzero");
@@ -21,108 +27,105 @@ SectoredCache::SectoredCache(const CacheParams &params) : config(params)
     shm_assert(num_blocks >= config.assoc,
                "cache '{}' too small for its associativity", config.name);
     numSets = num_blocks / config.assoc;
-    shm_assert(isPowerOf2(numSets), "number of sets must be pow2 (got {})",
-               numSets);
-    lines.resize(numSets * config.assoc);
-}
+    shm_assert(isPowerOf2(numSets),
+               "cache '{}': number of sets must be a power of two "
+               "(got {}; pick sizeBytes/blockBytes/assoc so that "
+               "sizeBytes / blockBytes / assoc is pow2)",
+               config.name, numSets);
 
-std::size_t
-SectoredCache::setIndex(Addr block_addr) const
-{
-    return (block_addr / config.blockBytes) % numSets;
+    blockShift = floorLog2(config.blockBytes);
+    sectorShift = floorLog2(config.sectorBytes);
+    blockAlignMask = ~(Addr{config.blockBytes} - 1);
+    blockOffsetMask = config.blockBytes - 1;
+    setMask = numSets - 1;
+
+    tags.assign(numSets * config.assoc, 0);
+    lineState.assign(numSets * config.assoc, LineState{});
+    mshrTable.reserve(config.mshrs);
+    pendingWriteMask.reserve(config.mshrs);
 }
 
 std::uint32_t
 SectoredCache::sectorMaskFor(Addr addr, std::uint32_t bytes) const
 {
-    Addr block = blockAlign(addr);
-    std::uint32_t first = static_cast<std::uint32_t>(
-        (addr - block) / config.sectorBytes);
-    std::uint32_t last = static_cast<std::uint32_t>(
-        (addr - block + bytes - 1) / config.sectorBytes);
+    std::uint32_t offset = static_cast<std::uint32_t>(addr) &
+                           blockOffsetMask;
+    std::uint32_t first = offset >> sectorShift;
+    std::uint32_t last = (offset + bytes - 1) >> sectorShift;
     shm_assert(last < sectorsPerBlock,
                "access at {} (+{}) crosses a block boundary", addr, bytes);
-    std::uint32_t mask = 0;
-    for (std::uint32_t s = first; s <= last; ++s)
-        mask |= (1u << s);
-    return mask;
+    return static_cast<std::uint32_t>((2ull << last) - 1ull) &
+           ~((1u << first) - 1u);
 }
 
-SectoredCache::Line *
-SectoredCache::findLine(Addr block_addr)
+std::size_t
+SectoredCache::findWay(Addr block_addr) const
 {
-    std::size_t set = setIndex(block_addr);
+    std::size_t base = setIndex(block_addr) * config.assoc;
+    Addr want = block_addr | 1;
     for (std::size_t w = 0; w < config.assoc; ++w) {
-        Line &line = lines[set * config.assoc + w];
-        if (line.valid && line.tag == block_addr)
-            return &line;
+        if (tags[base + w] == want)
+            return base + w;
     }
-    return nullptr;
+    return noWay;
 }
 
-const SectoredCache::Line *
-SectoredCache::findLine(Addr block_addr) const
+std::size_t
+SectoredCache::victimWay(Addr block_addr, Writeback &wb)
 {
-    return const_cast<SectoredCache *>(this)->findLine(block_addr);
-}
-
-SectoredCache::Line &
-SectoredCache::victimLine(Addr block_addr, Writeback &wb)
-{
-    std::size_t set = setIndex(block_addr);
-    Line *victim = nullptr;
+    std::size_t base = setIndex(block_addr) * config.assoc;
+    std::size_t victim = noWay;
 
     if (config.replacement == ReplacementPolicy::Random) {
         // Deterministic xorshift pick among valid lines, but invalid
         // lines still take priority.
         for (std::size_t w = 0; w < config.assoc; ++w) {
-            Line &line = lines[set * config.assoc + w];
-            if (!line.valid) {
-                victim = &line;
+            if (tags[base + w] == 0) {
+                victim = base + w;
                 break;
             }
         }
-        if (!victim) {
+        if (victim == noWay) {
             randomState ^= randomState << 13;
             randomState ^= randomState >> 7;
             randomState ^= randomState << 17;
-            victim = &lines[set * config.assoc +
-                            randomState % config.assoc];
+            victim = base + randomState % config.assoc;
         }
     } else {
         // LRU and FIFO share the stamp comparison; they differ in
         // whether access() refreshes the stamp (see below).
         for (std::size_t w = 0; w < config.assoc; ++w) {
-            Line &line = lines[set * config.assoc + w];
-            if (!line.valid) {
-                victim = &line;
+            std::size_t line = base + w;
+            if (tags[line] == 0) {
+                victim = line;
                 break;
             }
             // Prefer lines without an in-flight fill; among those,
             // the oldest stamp.
-            if (!victim ||
-                (victim->pendingFill && !line.pendingFill) ||
-                (victim->pendingFill == line.pendingFill &&
-                 line.lruStamp < victim->lruStamp)) {
-                victim = &line;
+            if (victim == noWay ||
+                (lineState[victim].pendingFill &&
+                 !lineState[line].pendingFill) ||
+                (lineState[victim].pendingFill ==
+                     lineState[line].pendingFill &&
+                 lineState[line].lruStamp < lineState[victim].lruStamp)) {
+                victim = line;
             }
         }
     }
 
-    if (victim->valid) {
-        if (victim->dirtyMask != 0) {
+    if (tags[victim] != 0) {
+        if (lineState[victim].dirtyMask != 0) {
             wb.valid = true;
-            wb.blockAddr = victim->tag;
-            wb.dirtyMask = victim->dirtyMask;
+            wb.blockAddr = lineTag(victim);
+            wb.dirtyMask = lineState[victim].dirtyMask;
             ++statWritebacks;
         }
-        victim->valid = false;
     }
-    victim->tag = block_addr;
-    victim->validMask = 0;
-    victim->dirtyMask = 0;
-    victim->pendingFill = false;
-    return *victim;
+    tags[victim] = block_addr | 1;
+    lineState[victim].validMask = 0;
+    lineState[victim].dirtyMask = 0;
+    lineState[victim].pendingFill = false;
+    return victim;
 }
 
 CacheAccessResult
@@ -132,13 +135,13 @@ SectoredCache::access(Addr addr, std::uint32_t bytes, bool is_write)
     Addr block = blockAlign(addr);
     std::uint32_t want = sectorMaskFor(addr, bytes);
 
-    Line *line = findLine(block);
-    if (line && (line->validMask & want) == want) {
+    std::size_t way = findWay(block);
+    if (way != noWay && (lineState[way].validMask & want) == want) {
         // Full sector hit. FIFO keeps the insertion-time stamp.
         if (config.replacement == ReplacementPolicy::Lru)
-            line->lruStamp = ++lruClock;
+            lineState[way].lruStamp = ++lruClock;
         if (is_write)
-            line->dirtyMask |= want;
+            lineState[way].dirtyMask |= want;
         ++statHits;
         return {CacheOutcome::Hit, 0};
     }
@@ -151,35 +154,32 @@ SectoredCache::access(Addr addr, std::uint32_t bytes, bool is_write)
             ++statWriteNoFetch;
             return {CacheOutcome::WriteNoFetch, 0};
         }
-        if (!line) {
+        if (way == noWay) {
             Writeback wb;
-            Line &fresh = victimLine(block, wb);
-            fresh.valid = true;
-            line = &fresh;
+            way = victimWay(block, wb);
             // The eviction write-back is surfaced via pendingWriteback
             // below; write-validate can evict.
             pendingInsertWb = wb;
         }
-        line->validMask |= want;
-        line->dirtyMask |= want;
-        line->lruStamp = ++lruClock;
+        lineState[way].validMask |= want;
+        lineState[way].dirtyMask |= want;
+        lineState[way].lruStamp = ++lruClock;
         ++statWriteNoFetch;
         return {CacheOutcome::WriteNoFetch, 0};
     }
 
     // Read miss (or RMW write miss): need sectors from DRAM.
-    std::uint32_t have = line ? line->validMask : 0;
+    std::uint32_t have = way != noWay ? lineState[way].validMask : 0;
     std::uint32_t need = want & ~have;
 
-    auto it = mshrTable.find(block);
-    if (it != mshrTable.end()) {
-        if (it->second.merged >= config.mshrMergeMax) {
+    if (MshrEntry *mshr = mshrTable.find(block)) {
+        if (mshr->merged >= config.mshrMergeMax) {
             ++statNoMshr;
             return {CacheOutcome::NoMshr, 0};
         }
-        ++it->second.merged;
-        std::uint32_t newly = need & ~it->second.pendingMask;
-        it->second.pendingMask |= need;
+        ++mshr->merged;
+        std::uint32_t newly = need & ~mshr->pendingMask;
+        mshr->pendingMask |= need;
         ++statMerged;
         if (is_write)
             pendingWriteMask[block] |= want;
@@ -194,8 +194,8 @@ SectoredCache::access(Addr addr, std::uint32_t bytes, bool is_write)
     }
 
     mshrTable.emplace(block, MshrEntry{need, 1});
-    if (line)
-        line->pendingFill = true;
+    if (way != noWay)
+        lineState[way].pendingFill = true;
     if (is_write)
         pendingWriteMask[block] |= want;
     ++statMisses;
@@ -209,21 +209,17 @@ SectoredCache::fill(Addr block_addr, std::uint32_t sector_mask)
     Addr block = blockAlign(block_addr);
     Writeback wb;
 
-    Line *line = findLine(block);
-    if (!line) {
-        Line &fresh = victimLine(block, wb);
-        fresh.valid = true;
-        line = &fresh;
-    }
-    line->validMask |= sector_mask;
-    line->pendingFill = false;
-    line->lruStamp = ++lruClock;
+    std::size_t way = findWay(block);
+    if (way == noWay)
+        way = victimWay(block, wb);
+    lineState[way].validMask |= sector_mask;
+    lineState[way].pendingFill = false;
+    lineState[way].lruStamp = ++lruClock;
 
-    auto wit = pendingWriteMask.find(block);
-    if (wit != pendingWriteMask.end()) {
-        line->validMask |= wit->second;
-        line->dirtyMask |= wit->second;
-        pendingWriteMask.erase(wit);
+    if (std::uint32_t *pending = pendingWriteMask.find(block)) {
+        lineState[way].validMask |= *pending;
+        lineState[way].dirtyMask |= *pending;
+        pendingWriteMask.erase(block);
     }
 
     mshrTable.erase(block);
@@ -234,17 +230,16 @@ bool
 SectoredCache::mshrAvailable(Addr addr) const
 {
     Addr block = blockAlign(addr);
-    auto it = mshrTable.find(block);
-    if (it != mshrTable.end())
-        return it->second.merged < config.mshrMergeMax;
+    if (const MshrEntry *mshr = mshrTable.find(block))
+        return mshr->merged < config.mshrMergeMax;
     return mshrTable.size() < config.mshrs;
 }
 
 std::uint32_t
 SectoredCache::probe(Addr addr) const
 {
-    const Line *line = findLine(blockAlign(addr));
-    return line ? line->validMask : 0;
+    std::size_t way = findWay(blockAlign(addr));
+    return way != noWay ? lineState[way].validMask : 0;
 }
 
 Writeback
@@ -253,15 +248,12 @@ SectoredCache::insert(Addr block_addr, std::uint32_t valid_mask,
 {
     Addr block = blockAlign(block_addr);
     Writeback wb;
-    Line *line = findLine(block);
-    if (!line) {
-        Line &fresh = victimLine(block, wb);
-        fresh.valid = true;
-        line = &fresh;
-    }
-    line->validMask |= valid_mask;
-    line->dirtyMask |= dirty_mask;
-    line->lruStamp = ++lruClock;
+    std::size_t way = findWay(block);
+    if (way == noWay)
+        way = victimWay(block, wb);
+    lineState[way].validMask |= valid_mask;
+    lineState[way].dirtyMask |= dirty_mask;
+    lineState[way].lruStamp = ++lruClock;
     return wb;
 }
 
@@ -269,16 +261,16 @@ Writeback
 SectoredCache::invalidate(Addr block_addr)
 {
     Writeback wb;
-    Line *line = findLine(blockAlign(block_addr));
-    if (line) {
-        if (line->dirtyMask) {
+    std::size_t way = findWay(blockAlign(block_addr));
+    if (way != noWay) {
+        if (lineState[way].dirtyMask) {
             wb.valid = true;
-            wb.blockAddr = line->tag;
-            wb.dirtyMask = line->dirtyMask;
+            wb.blockAddr = lineTag(way);
+            wb.dirtyMask = lineState[way].dirtyMask;
         }
-        line->valid = false;
-        line->validMask = 0;
-        line->dirtyMask = 0;
+        tags[way] = 0;
+        lineState[way].validMask = 0;
+        lineState[way].dirtyMask = 0;
     }
     return wb;
 }
@@ -286,10 +278,10 @@ SectoredCache::invalidate(Addr block_addr)
 void
 SectoredCache::flushDirty(std::vector<Writeback> &out)
 {
-    for (auto &line : lines) {
-        if (line.valid && line.dirtyMask) {
-            out.push_back({true, line.tag, line.dirtyMask});
-            line.dirtyMask = 0;
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+        if (tags[i] != 0 && lineState[i].dirtyMask) {
+            out.push_back({true, lineTag(i), lineState[i].dirtyMask});
+            lineState[i].dirtyMask = 0;
         }
     }
 }

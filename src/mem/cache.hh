@@ -14,9 +14,9 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -146,10 +146,15 @@ class SectoredCache
     /** @} */
 
   private:
-    struct Line
+    /**
+     * Line state is split hot/cold for the way scan: `tags` holds one
+     * word per line — the block address with bit 0 set when valid, 0
+     * when invalid (block addresses are block-aligned, so bit 0 is
+     * free) — and a set's ways are contiguous, so a lookup touches one
+     * or two cache lines regardless of the per-line state size below.
+     */
+    struct LineState
     {
-        bool valid = false;
-        Addr tag = 0;
         std::uint32_t validMask = 0;
         std::uint32_t dirtyMask = 0;
         std::uint64_t lruStamp = 0;  //!< recency (LRU) or insertion
@@ -163,21 +168,34 @@ class SectoredCache
         std::uint32_t merged = 0;      //!< merged request count
     };
 
-    Addr blockAlign(Addr addr) const { return addr / config.blockBytes *
-                                              config.blockBytes; }
-    std::size_t setIndex(Addr block_addr) const;
+    static constexpr std::size_t noWay = ~std::size_t{0};
+
+    /** All index math is shift/mask; the constructor asserts pow2. */
+    Addr blockAlign(Addr addr) const { return addr & blockAlignMask; }
+    std::size_t setIndex(Addr block_addr) const
+    {
+        return (block_addr >> blockShift) & setMask;
+    }
     std::uint32_t sectorMaskFor(Addr addr, std::uint32_t bytes) const;
-    Line *findLine(Addr block_addr);
-    const Line *findLine(Addr block_addr) const;
-    Line &victimLine(Addr block_addr, Writeback &wb);
+    std::size_t findWay(Addr block_addr) const;
+    std::size_t victimWay(Addr block_addr, Writeback &wb);
+
+    bool lineValid(std::size_t way) const { return tags[way] != 0; }
+    Addr lineTag(std::size_t way) const { return tags[way] & ~Addr{1}; }
 
     CacheParams config;
     std::size_t numSets;
     std::uint32_t sectorsPerBlock;
-    std::vector<Line> lines; //!< numSets x assoc, row-major
-    std::unordered_map<Addr, MshrEntry> mshrTable;
+    unsigned blockShift;      //!< log2(blockBytes)
+    unsigned sectorShift;     //!< log2(sectorBytes)
+    Addr blockAlignMask;      //!< ~(blockBytes - 1)
+    std::uint32_t blockOffsetMask; //!< blockBytes - 1
+    std::size_t setMask;      //!< numSets - 1
+    std::vector<Addr> tags;        //!< hot: tag|valid, numSets x assoc
+    std::vector<LineState> lineState; //!< cold: masks/stamps, same layout
+    FlatMap<MshrEntry> mshrTable;
     /** Sectors written while their block's fill is still in flight. */
-    std::unordered_map<Addr, std::uint32_t> pendingWriteMask;
+    FlatMap<std::uint32_t> pendingWriteMask;
     Writeback pendingInsertWb;
     std::uint64_t lruClock = 0;
     std::uint64_t randomState = 0x9E3779B97F4A7C15ull;

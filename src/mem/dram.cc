@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/bitops.hh"
 #include "common/logging.hh"
 
 namespace shmgpu::mem
@@ -13,6 +14,10 @@ DramChannel::DramChannel(const DramParams &params) : config(params)
     shm_assert(config.bytesPerCycle > 0, "bandwidth must be positive");
     shm_assert(config.numBanks > 0, "need at least one bank");
     banks.resize(config.numBanks);
+    rowPow2 = isPowerOf2(config.rowBytes);
+    rowShift = rowPow2 ? floorLog2(config.rowBytes) : 0;
+    bankPow2 = isPowerOf2(config.numBanks);
+    bankMask = bankPow2 ? config.numBanks - 1 : 0;
 }
 
 DramResult
@@ -21,8 +26,9 @@ DramChannel::enqueue(Cycle now, Addr addr, std::uint32_t bytes,
 {
     shm_assert(bytes > 0, "zero-byte DRAM transaction");
 
-    std::uint64_t row = addr / config.rowBytes;
-    Bank &bank = banks[row % banks.size()];
+    std::uint64_t row = rowPow2 ? addr >> rowShift : addr / config.rowBytes;
+    Bank &bank =
+        banks[bankPow2 ? row & bankMask : row % banks.size()];
 
     // FR-FCFS row window: hit if the row was opened recently enough
     // for the scheduler to batch with it.

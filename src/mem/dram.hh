@@ -103,6 +103,11 @@ class DramChannel
 
     DramParams config;
     std::vector<Bank> banks;
+    /** Shift/mask fast path for pow2 row size / bank count. */
+    bool rowPow2 = false;
+    unsigned rowShift = 0;
+    bool bankPow2 = false;
+    std::uint64_t bankMask = 0;
     Cycle busFreeAt = 0;
     Cycle busBusy = 0;
     /** Bus-cycles of parked write bursts (read-priority model). */

@@ -54,16 +54,16 @@ BonsaiTree::leafDigestOf(std::uint64_t counter_block_idx) const
 std::uint64_t
 BonsaiTree::storedLeaf(std::uint64_t idx) const
 {
-    auto it = leafDigests.find(idx);
-    return it == leafDigests.end() ? defaultLeaf : it->second;
+    const std::uint64_t *digest = leafDigests.find(idx);
+    return digest ? *digest : defaultLeaf;
 }
 
 std::uint64_t
 BonsaiTree::storedNode(unsigned level, std::uint64_t idx) const
 {
     shm_assert(level < nodes.size(), "BMT level {} out of range", level);
-    auto it = nodes[level].find(idx);
-    return it == nodes[level].end() ? defaultNode[level] : it->second;
+    const std::uint64_t *digest = nodes[level].find(idx);
+    return digest ? *digest : defaultNode[level];
 }
 
 void
@@ -145,7 +145,8 @@ void
 BonsaiTree::corruptStoredNode(unsigned level, std::uint64_t node_idx,
                               std::uint64_t xor_mask)
 {
-    nodes.at(level)[node_idx] = storedNode(level, node_idx) ^ xor_mask;
+    shm_assert(level < nodes.size(), "BMT level {} out of range", level);
+    nodes[level][node_idx] = storedNode(level, node_idx) ^ xor_mask;
 }
 
 void

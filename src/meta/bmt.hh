@@ -17,9 +17,9 @@
 #define SHMGPU_META_BMT_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "crypto/siphash.hh"
 #include "meta/counters.hh"
 #include "meta/layout.hh"
@@ -81,9 +81,9 @@ class BonsaiTree
     crypto::SipKey key;
 
     /** Stored (off-chip) leaf digests, one per counter block. */
-    std::unordered_map<std::uint64_t, std::uint64_t> leafDigests;
+    FlatMap<std::uint64_t> leafDigests;
     /** Stored (off-chip) internal digests per level. */
-    std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> nodes;
+    std::vector<FlatMap<std::uint64_t>> nodes;
 
     std::uint64_t defaultLeaf;
     std::vector<std::uint64_t> defaultNode; //!< per stored level

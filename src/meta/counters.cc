@@ -15,8 +15,7 @@ CounterStore::CounterStore(const MetadataLayout &meta_layout)
 const CounterStore::CounterBlock *
 CounterStore::find(std::uint64_t idx) const
 {
-    auto it = table.find(idx);
-    return it == table.end() ? nullptr : &it->second;
+    return table.find(idx);
 }
 
 CounterStore::CounterBlock &
@@ -145,8 +144,8 @@ CommonCounterTable::CommonCounterTable(const MetadataLayout &meta_layout)
 bool
 CommonCounterTable::isCommon(LocalAddr data_addr) const
 {
-    auto it = regions.find(layout.counterBlockIndex(data_addr));
-    return it == regions.end() || it->second.common;
+    const Region *region = regions.find(layout.counterBlockIndex(data_addr));
+    return !region || region->common;
 }
 
 bool

@@ -20,9 +20,9 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "meta/layout.hh"
 
@@ -114,7 +114,7 @@ class CounterStore
     CounterBlock &materialize(std::uint64_t idx);
 
     const MetadataLayout &layout;
-    std::unordered_map<std::uint64_t, CounterBlock> table;
+    FlatMap<CounterBlock> table;
     /** 7-bit minor counters overflow at 128. */
     static constexpr std::uint64_t minorMax = 128;
 };
@@ -191,7 +191,7 @@ class CommonCounterTable
     };
 
     const MetadataLayout &layout;
-    mutable std::unordered_map<std::uint64_t, Region> regions;
+    mutable FlatMap<Region> regions;
     std::uint64_t devolved = 0;
 };
 

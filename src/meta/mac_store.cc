@@ -18,10 +18,9 @@ MacStore::setBlockMac(LocalAddr data_addr, crypto::Mac mac)
 std::optional<crypto::Mac>
 MacStore::blockMac(LocalAddr data_addr) const
 {
-    auto it = blockMacs.find(layout.blockIndex(data_addr));
-    if (it == blockMacs.end())
-        return std::nullopt;
-    return it->second;
+    if (const crypto::Mac *mac = blockMacs.find(layout.blockIndex(data_addr)))
+        return *mac;
+    return std::nullopt;
 }
 
 void
@@ -33,28 +32,25 @@ MacStore::setChunkMac(LocalAddr data_addr, crypto::Mac mac)
 std::optional<crypto::Mac>
 MacStore::chunkMac(LocalAddr data_addr) const
 {
-    auto it = chunkMacs.find(layout.chunkIndex(data_addr));
-    if (it == chunkMacs.end())
-        return std::nullopt;
-    return it->second;
+    if (const crypto::Mac *mac = chunkMacs.find(layout.chunkIndex(data_addr)))
+        return *mac;
+    return std::nullopt;
 }
 
 void
 MacStore::corruptBlockMac(LocalAddr data_addr, std::uint64_t xor_mask)
 {
-    auto it = blockMacs.find(layout.blockIndex(data_addr));
-    shm_assert(it != blockMacs.end(),
-               "corrupting a MAC that was never stored");
-    it->second ^= xor_mask;
+    crypto::Mac *mac = blockMacs.find(layout.blockIndex(data_addr));
+    shm_assert(mac, "corrupting a MAC that was never stored");
+    *mac ^= xor_mask;
 }
 
 void
 MacStore::corruptChunkMac(LocalAddr data_addr, std::uint64_t xor_mask)
 {
-    auto it = chunkMacs.find(layout.chunkIndex(data_addr));
-    shm_assert(it != chunkMacs.end(),
-               "corrupting a MAC that was never stored");
-    it->second ^= xor_mask;
+    crypto::Mac *mac = chunkMacs.find(layout.chunkIndex(data_addr));
+    shm_assert(mac, "corrupting a MAC that was never stored");
+    *mac ^= xor_mask;
 }
 
 } // namespace shmgpu::meta

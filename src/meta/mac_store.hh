@@ -11,8 +11,8 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "crypto/mac.hh"
 #include "meta/layout.hh"
@@ -45,8 +45,8 @@ class MacStore
 
   private:
     const MetadataLayout &layout;
-    std::unordered_map<std::uint64_t, crypto::Mac> blockMacs;
-    std::unordered_map<std::uint64_t, crypto::Mac> chunkMacs;
+    FlatMap<crypto::Mac> blockMacs;
+    FlatMap<crypto::Mac> chunkMacs;
 };
 
 } // namespace shmgpu::meta

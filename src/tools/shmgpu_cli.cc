@@ -26,13 +26,17 @@
  *       --jobs value.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 
+#include "common/json.hh"
 #include "common/logging.hh"
+#include "common/profile.hh"
 #include "core/experiment.hh"
 #include "core/overrides.hh"
 #include "core/sweep.hh"
@@ -83,18 +87,21 @@ class Args
 int
 usage()
 {
-    std::puts("usage: shmgpu <list|run|sweep|trace> [flags]\n"
+    std::puts("usage: shmgpu <list|run|sweep|trace|bench-self> [flags]\n"
               "  shmgpu list\n"
               "  shmgpu run (--workload NAME | --spec FILE) [--scheme SHM]"
               " [--gpu turing|big|test] [--cycles N] [--overrides CFG]"
-              " [--stats FILE] [--json FILE] [--accuracy]\n"
+              " [--stats FILE] [--json FILE] [--accuracy] [--profile]\n"
               "  shmgpu sweep [--workloads a,b,c|all] [--schemes X,Y|all]"
               " [--jobs N] [--gpu turing|big|test] [--cycles N]"
               " [--overrides CFG] [--out FILE] [--quiet]\n"
               "  shmgpu trace record --workload NAME --out FILE"
               " [--sms N]\n"
               "  shmgpu trace run --in FILE [--scheme SHM] [--cycles N]\n"
-              "  shmgpu trace info --in FILE");
+              "  shmgpu trace info --in FILE\n"
+              "  shmgpu bench-self [--quick] [--cycles N] [--reps N]"
+              " [--gpu turing|big|test] [--out BENCH_hotpath.json]"
+              " [--profile]");
     return 2;
 }
 
@@ -157,11 +164,19 @@ cmdRun(const Args &args)
                         : parsed;
     auto scheme = schemes::schemeFromName(args.get("scheme", "SHM"));
 
+    if (args.has("profile")) {
+        profile::setEnabled(true);
+        profile::reset();
+    }
+
     core::Experiment exp(gpuParamsFrom(args));
     core::RunOptions opts;
     opts.collectAccuracy = args.has("accuracy");
     auto r = exp.run(scheme, w, opts);
     printSummary(r);
+
+    if (args.has("profile"))
+        profile::report(std::cout);
 
     if (opts.collectAccuracy) {
         double ro_total = r.metrics.roCorrect + r.metrics.roMpInit +
@@ -278,6 +293,105 @@ cmdSweep(const Args &args)
     return 0;
 }
 
+/**
+ * Self-measuring hot-path throughput benchmark: a pinned 3x3
+ * (workload x scheme) grid timed in simulated cells per second.
+ * Baselines are warmed untimed so the measurement covers exactly the
+ * secure-scheme simulations; the best of --reps repetitions is the
+ * reported figure (least-noise estimator on a shared machine).
+ */
+int
+cmdBenchSelf(const Args &args)
+{
+    const std::vector<std::string> workload_names = {"atax", "mvt", "bfs"};
+    const std::vector<schemes::Scheme> designs = {
+        schemes::schemeFromName("Naive"),
+        schemes::schemeFromName("PSSM"),
+        schemes::schemeFromName("SHM"),
+    };
+
+    bool quick = args.has("quick");
+    std::uint64_t cycles =
+        std::stoull(args.get("cycles", quick ? "10000" : "50000"));
+    unsigned reps = static_cast<unsigned>(
+        std::stoul(args.get("reps", quick ? "1" : "3")));
+    shm_assert(reps > 0, "bench-self needs at least one repetition");
+    std::string out = args.get("out", "BENCH_hotpath.json");
+
+    if (args.has("profile")) {
+        profile::setEnabled(true);
+        profile::reset();
+    }
+    log_detail::setVerbose(false);
+
+    gpu::GpuParams gp = gpu::presetByName(args.get("gpu", "turing"));
+    gp.maxCyclesPerKernel = cycles;
+
+    std::vector<const workload::WorkloadSpec *> workloads;
+    for (const auto &name : workload_names)
+        workloads.push_back(&workload::findWorkload(name));
+
+    core::Experiment exp(gp);
+    // Warm the baseline cache so the timed region holds only the
+    // secure cells, not the shared no-security simulations.
+    for (const auto *w : workloads)
+        exp.baselineFor(*w);
+
+    const std::size_t cells = workloads.size() * designs.size();
+    using clock = std::chrono::steady_clock;
+    std::vector<double> rep_seconds;
+    double best = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        auto t0 = clock::now();
+        for (const auto *w : workloads)
+            for (auto scheme : designs)
+                exp.run(scheme, *w);
+        double secs = std::chrono::duration<double>(clock::now() - t0)
+                          .count();
+        rep_seconds.push_back(secs);
+        double rate = static_cast<double>(cells) / secs;
+        best = std::max(best, rate);
+        std::printf("rep %u/%u: %zu cells in %.3f s  (%.2f cells/s)\n",
+                    rep + 1, reps, cells, secs, rate);
+    }
+    std::printf("best throughput: %.2f cells/s (%zu-cell grid, "
+                "%llu-cycle kernel cap)\n",
+                best, cells, static_cast<unsigned long long>(cycles));
+
+    json::Value doc = json::Value::object();
+    doc["benchmark"] = "bench-self";
+    doc["gpu"] = args.get("gpu", "turing");
+    doc["max_cycles_per_kernel"] = cycles;
+    doc["reps"] = static_cast<std::uint64_t>(reps);
+    doc["cells"] = static_cast<std::uint64_t>(cells);
+    json::Value grid = json::Value::object();
+    json::Value wl = json::Value::array();
+    for (const auto &name : workload_names)
+        wl.append(name);
+    json::Value sc = json::Value::array();
+    for (auto scheme : designs)
+        sc.append(schemes::schemeName(scheme));
+    grid["workloads"] = std::move(wl);
+    grid["schemes"] = std::move(sc);
+    doc["grid"] = std::move(grid);
+    json::Value secs = json::Value::array();
+    for (double s : rep_seconds)
+        secs.append(s);
+    doc["rep_seconds"] = std::move(secs);
+    doc["best_cells_per_second"] = best;
+
+    std::ofstream os(out, std::ios::binary);
+    if (!os)
+        shm_fatal("cannot open '{}' for writing", out);
+    doc.write(os, 2);
+    os << "\n";
+    std::printf("benchmark results written to %s\n", out.c_str());
+
+    if (args.has("profile"))
+        profile::report(std::cout);
+    return 0;
+}
+
 int
 cmdTrace(const Args &args, const std::string &sub)
 {
@@ -342,6 +456,8 @@ main(int argc, char **argv)
         return cmdRun(Args(argc, argv, 2));
     if (cmd == "sweep")
         return cmdSweep(Args(argc, argv, 2));
+    if (cmd == "bench-self")
+        return cmdBenchSelf(Args(argc, argv, 2));
     if (cmd == "trace") {
         if (argc < 3)
             return usage();

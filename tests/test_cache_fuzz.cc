@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <map>
 #include <set>
 
@@ -124,3 +125,400 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_tuple(4096ull, 2u, false, 3ull),
         std::make_tuple(16384ull, 16u, false, 4ull),
         std::make_tuple(128ull, 1u, false, 5ull)));
+
+// ---------------------------------------------------------------------
+// Differential property test: SectoredCache (shift/mask indexing, flat
+// MSHR tables, hot/cold line split) against a naive reference model
+// written with division/modulo math and ordered maps. Every observable
+// — outcomes, fetch masks, write-backs, probes, MSHR occupancy, flush
+// order — must match on every step of a long random access mix.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Deliberately naive sectored cache with the documented semantics of
+ * SectoredCache: div/mod indexing, per-set line vectors, ordered maps
+ * for MSHRs. Shares no code with the real implementation.
+ */
+class RefCache
+{
+  public:
+    explicit RefCache(const CacheParams &params) : p(params)
+    {
+        sectorsPerBlock = p.blockBytes / p.sectorBytes;
+        numSets = p.sizeBytes / p.blockBytes / p.assoc;
+        sets.resize(numSets, std::vector<RefLine>(p.assoc));
+    }
+
+    CacheAccessResult
+    access(Addr addr, std::uint32_t bytes, bool is_write)
+    {
+        Addr block = addr - addr % p.blockBytes;
+        std::uint32_t want = maskFor(addr, bytes);
+        RefLine *line = lookup(block);
+
+        if (line && (line->validMask & want) == want) {
+            if (p.replacement == ReplacementPolicy::Lru)
+                line->stamp = ++clock;
+            if (is_write)
+                line->dirtyMask |= want;
+            return {CacheOutcome::Hit, 0};
+        }
+
+        if (is_write && !p.fetchOnWriteMiss) {
+            if (!p.writeAllocate)
+                return {CacheOutcome::WriteNoFetch, 0};
+            if (!line) {
+                Writeback wb;
+                line = victim(block, wb);
+                pendingInsertWb = wb;
+            }
+            line->validMask |= want;
+            line->dirtyMask |= want;
+            line->stamp = ++clock;
+            return {CacheOutcome::WriteNoFetch, 0};
+        }
+
+        std::uint32_t have = line ? line->validMask : 0;
+        std::uint32_t need = want & ~have;
+
+        auto it = mshrs.find(block);
+        if (it != mshrs.end()) {
+            if (it->second.merged >= p.mshrMergeMax)
+                return {CacheOutcome::NoMshr, 0};
+            ++it->second.merged;
+            std::uint32_t newly = need & ~it->second.pendingMask;
+            it->second.pendingMask |= need;
+            if (is_write)
+                pendingWrites[block] |= want;
+            return {newly ? CacheOutcome::Miss : CacheOutcome::MshrMerged,
+                    newly};
+        }
+        if (mshrs.size() >= p.mshrs)
+            return {CacheOutcome::NoMshr, 0};
+        mshrs[block] = {need, 1};
+        if (line)
+            line->pendingFill = true;
+        if (is_write)
+            pendingWrites[block] |= want;
+        return {CacheOutcome::Miss, need};
+    }
+
+    Writeback
+    fill(Addr block_addr, std::uint32_t sector_mask)
+    {
+        Addr block = block_addr - block_addr % p.blockBytes;
+        Writeback wb;
+        RefLine *line = lookup(block);
+        if (!line)
+            line = victim(block, wb);
+        line->validMask |= sector_mask;
+        line->pendingFill = false;
+        line->stamp = ++clock;
+        auto pw = pendingWrites.find(block);
+        if (pw != pendingWrites.end()) {
+            line->validMask |= pw->second;
+            line->dirtyMask |= pw->second;
+            pendingWrites.erase(pw);
+        }
+        mshrs.erase(block);
+        return wb;
+    }
+
+    bool
+    mshrAvailable(Addr addr) const
+    {
+        Addr block = addr - addr % p.blockBytes;
+        auto it = mshrs.find(block);
+        if (it != mshrs.end())
+            return it->second.merged < p.mshrMergeMax;
+        return mshrs.size() < p.mshrs;
+    }
+
+    std::uint32_t
+    probe(Addr addr) const
+    {
+        Addr block = addr - addr % p.blockBytes;
+        const RefLine *line = const_cast<RefCache *>(this)->lookup(block);
+        return line ? line->validMask : 0;
+    }
+
+    Writeback
+    insert(Addr block_addr, std::uint32_t valid_mask,
+           std::uint32_t dirty_mask)
+    {
+        Addr block = block_addr - block_addr % p.blockBytes;
+        Writeback wb;
+        RefLine *line = lookup(block);
+        if (!line)
+            line = victim(block, wb);
+        line->validMask |= valid_mask;
+        line->dirtyMask |= dirty_mask;
+        line->stamp = ++clock;
+        return wb;
+    }
+
+    Writeback
+    invalidate(Addr block_addr)
+    {
+        Addr block = block_addr - block_addr % p.blockBytes;
+        Writeback wb;
+        RefLine *line = lookup(block);
+        if (line) {
+            if (line->dirtyMask) {
+                wb.valid = true;
+                wb.blockAddr = block;
+                wb.dirtyMask = line->dirtyMask;
+            }
+            *line = RefLine{};
+        }
+        return wb;
+    }
+
+    Writeback
+    takeInsertWriteback()
+    {
+        Writeback wb = pendingInsertWb;
+        pendingInsertWb = Writeback{};
+        return wb;
+    }
+
+    void
+    flushDirty(std::vector<Writeback> &out)
+    {
+        for (auto &set : sets) {
+            for (auto &line : set) {
+                if (line.valid && line.dirtyMask) {
+                    out.push_back({true, line.tag, line.dirtyMask});
+                    line.dirtyMask = 0;
+                }
+            }
+        }
+    }
+
+    std::size_t mshrsInUse() const { return mshrs.size(); }
+
+  private:
+    struct RefLine
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint32_t validMask = 0;
+        std::uint32_t dirtyMask = 0;
+        std::uint64_t stamp = 0;
+        bool pendingFill = false;
+    };
+
+    struct RefMshr
+    {
+        std::uint32_t pendingMask = 0;
+        std::uint32_t merged = 0;
+    };
+
+    std::uint32_t
+    maskFor(Addr addr, std::uint32_t bytes) const
+    {
+        Addr block = addr - addr % p.blockBytes;
+        std::uint32_t mask = 0;
+        for (std::uint32_t s = 0; s < sectorsPerBlock; ++s) {
+            Addr lo = block + static_cast<Addr>(s) * p.sectorBytes;
+            Addr hi = lo + p.sectorBytes;
+            if (addr < hi && addr + bytes > lo)
+                mask |= 1u << s;
+        }
+        return mask;
+    }
+
+    RefLine *
+    lookup(Addr block)
+    {
+        auto &set = sets[block / p.blockBytes % numSets];
+        for (auto &line : set)
+            if (line.valid && line.tag == block)
+                return &line;
+        return nullptr;
+    }
+
+    RefLine *
+    victim(Addr block, Writeback &wb)
+    {
+        auto &set = sets[block / p.blockBytes % numSets];
+        RefLine *pick = nullptr;
+        if (p.replacement == ReplacementPolicy::Random) {
+            for (auto &line : set) {
+                if (!line.valid) {
+                    pick = &line;
+                    break;
+                }
+            }
+            if (!pick) {
+                rstate ^= rstate << 13;
+                rstate ^= rstate >> 7;
+                rstate ^= rstate << 17;
+                pick = &set[rstate % p.assoc];
+            }
+        } else {
+            for (auto &line : set) {
+                if (!line.valid) {
+                    pick = &line;
+                    break;
+                }
+                if (!pick ||
+                    (pick->pendingFill && !line.pendingFill) ||
+                    (pick->pendingFill == line.pendingFill &&
+                     line.stamp < pick->stamp)) {
+                    pick = &line;
+                }
+            }
+        }
+        if (pick->valid && pick->dirtyMask) {
+            wb.valid = true;
+            wb.blockAddr = pick->tag;
+            wb.dirtyMask = pick->dirtyMask;
+        }
+        std::uint64_t keep_stamp = pick->stamp;
+        *pick = RefLine{};
+        pick->stamp = keep_stamp;
+        pick->valid = true;
+        pick->tag = block;
+        return pick;
+    }
+
+    CacheParams p;
+    std::uint32_t sectorsPerBlock;
+    std::uint64_t numSets;
+    std::vector<std::vector<RefLine>> sets;
+    std::map<Addr, RefMshr> mshrs;
+    std::map<Addr, std::uint32_t> pendingWrites;
+    Writeback pendingInsertWb;
+    std::uint64_t clock = 0;
+    std::uint64_t rstate = 0x9E3779B97F4A7C15ull;
+};
+
+void
+expectSameWriteback(const Writeback &real, const Writeback &ref,
+                    const char *what)
+{
+    ASSERT_EQ(real.valid, ref.valid) << what;
+    if (real.valid) {
+        EXPECT_EQ(real.blockAddr, ref.blockAddr) << what;
+        EXPECT_EQ(real.dirtyMask, ref.dirtyMask) << what;
+    }
+}
+
+} // namespace
+
+class CacheDifferential
+    : public ::testing::TestWithParam<
+          std::tuple<ReplacementPolicy, bool, bool, std::uint64_t>>
+{
+};
+
+TEST_P(CacheDifferential, MatchesNaiveReferenceModel)
+{
+    auto [policy, write_allocate, rmw, seed] = GetParam();
+    CacheParams p;
+    p.name = "diff";
+    p.sizeBytes = 4096;
+    p.assoc = 4;
+    p.mshrs = 8;
+    p.mshrMergeMax = 4;
+    p.writeAllocate = write_allocate;
+    p.fetchOnWriteMiss = rmw;
+    p.replacement = policy;
+
+    SectoredCache cache(p);
+    RefCache ref(p);
+    Rng rng(seed);
+
+    constexpr int kBlocks = 96; // a few times the cache's 32 lines
+    // Blocks with an allocated MSHR -> accumulated fetch mask.
+    std::map<Addr, std::uint32_t> pending;
+
+    for (int step = 0; step < 30000; ++step) {
+        Addr block = rng.below(kBlocks) * 128;
+        std::uint64_t roll = rng.below(100);
+
+        if (roll < 65) {
+            // Access: random sector span or a sub-sector sliver.
+            std::uint32_t first = static_cast<std::uint32_t>(rng.below(4));
+            std::uint32_t last =
+                first + static_cast<std::uint32_t>(rng.below(4 - first));
+            Addr addr = block + first * 32;
+            std::uint32_t bytes = (last - first + 1) * 32;
+            if (rng.chance(0.2)) {
+                addr += rng.below(24);
+                bytes = 1 + static_cast<std::uint32_t>(rng.below(8));
+            }
+            bool is_write = rng.chance(0.4);
+
+            ASSERT_EQ(cache.mshrAvailable(addr), ref.mshrAvailable(addr));
+            auto real = cache.access(addr, bytes, is_write);
+            auto want = ref.access(addr, bytes, is_write);
+            ASSERT_EQ(real.outcome, want.outcome)
+                << "step " << step << " block " << block;
+            ASSERT_EQ(real.fetchMask, want.fetchMask) << "step " << step;
+            if (real.outcome == CacheOutcome::WriteNoFetch) {
+                expectSameWriteback(cache.takeInsertWriteback(),
+                                    ref.takeInsertWriteback(),
+                                    "write-validate eviction");
+            }
+            if (real.outcome == CacheOutcome::Miss ||
+                real.outcome == CacheOutcome::MshrMerged)
+                pending[block] |= real.fetchMask;
+        } else if (roll < 85 && !pending.empty()) {
+            // Fill one in-flight block.
+            auto it = pending.begin();
+            std::advance(it, rng.below(pending.size()));
+            expectSameWriteback(cache.fill(it->first, it->second),
+                                ref.fill(it->first, it->second),
+                                "fill eviction");
+            pending.erase(it);
+        } else if (roll < 90) {
+            Addr addr = block + rng.below(128);
+            ASSERT_EQ(cache.probe(addr), ref.probe(addr))
+                << "probe mismatch at step " << step;
+        } else if (roll < 95) {
+            expectSameWriteback(cache.invalidate(block),
+                                ref.invalidate(block), "invalidate");
+        } else {
+            std::uint32_t valid =
+                static_cast<std::uint32_t>(rng.below(16)) | 1u;
+            std::uint32_t dirty =
+                static_cast<std::uint32_t>(rng.below(16)) & valid;
+            expectSameWriteback(cache.insert(block, valid, dirty),
+                                ref.insert(block, valid, dirty),
+                                "insert eviction");
+        }
+        ASSERT_EQ(cache.mshrsInUse(), ref.mshrsInUse())
+            << "MSHR occupancy diverged at step " << step;
+    }
+
+    // Drain in-flight fills, then the final flush must agree on
+    // content *and* order.
+    for (const auto &[block, mask] : pending)
+        expectSameWriteback(cache.fill(block, mask),
+                            ref.fill(block, mask), "drain fill");
+    std::vector<Writeback> real_flush;
+    std::vector<Writeback> ref_flush;
+    cache.flushDirty(real_flush);
+    ref.flushDirty(ref_flush);
+    ASSERT_EQ(real_flush.size(), ref_flush.size());
+    for (std::size_t i = 0; i < real_flush.size(); ++i) {
+        EXPECT_EQ(real_flush[i].blockAddr, ref_flush[i].blockAddr)
+            << "flush order diverged at entry " << i;
+        EXPECT_EQ(real_flush[i].dirtyMask, ref_flush[i].dirtyMask);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, CacheDifferential,
+    ::testing::Values(
+        std::make_tuple(ReplacementPolicy::Lru, true, false, 11ull),
+        std::make_tuple(ReplacementPolicy::Lru, false, false, 12ull),
+        std::make_tuple(ReplacementPolicy::Lru, true, true, 13ull),
+        std::make_tuple(ReplacementPolicy::Fifo, true, false, 14ull),
+        std::make_tuple(ReplacementPolicy::Random, true, false, 15ull),
+        std::make_tuple(ReplacementPolicy::Random, true, true, 16ull)));
