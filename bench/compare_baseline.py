@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench-self result against the committed baseline.
+
+Usage: compare_baseline.py FRESH.json BASELINE.json [--threshold 0.10]
+
+Prints a GitHub Actions ::warning:: (and exits 0 — tracking, not
+gating) when the fresh best_cells_per_second falls more than the
+threshold below the baseline. The comparison is skipped with a notice
+when the two files measured different configurations (cycle cap, grid
+size, or engine), since those numbers are not comparable.
+"""
+
+import argparse
+import json
+import sys
+
+# A fresh result must match the baseline on these fields for the
+# throughput comparison to mean anything.
+CONFIG_KEYS = ("benchmark", "gpu", "kernel_loop",
+               "max_cycles_per_kernel", "cells")
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="warn when fresh < (1-threshold) * baseline")
+    args = parser.parse_args()
+
+    fresh = load(args.fresh)
+    base = load(args.baseline)
+
+    for key in CONFIG_KEYS:
+        if fresh.get(key) != base.get(key):
+            print(f"::notice::bench-self configs differ on '{key}' "
+                  f"({fresh.get(key)!r} vs baseline {base.get(key)!r}); "
+                  "skipping throughput comparison")
+            return 0
+
+    fresh_cps = fresh["best_cells_per_second"]
+    base_cps = base["best_cells_per_second"]
+    if base_cps <= 0:
+        print("::notice::baseline throughput is zero; nothing to compare")
+        return 0
+
+    ratio = fresh_cps / base_cps
+    line = (f"bench-self: {fresh_cps:.2f} cells/s vs committed baseline "
+            f"{base_cps:.2f} ({ratio:.2%})")
+    if ratio < 1.0 - args.threshold:
+        print(f"::warning::{line} — possible hot-path regression "
+              f"(>{args.threshold:.0%} below baseline; non-gating, CI "
+              "machines are noisy)")
+    else:
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

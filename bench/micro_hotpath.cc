@@ -3,18 +3,22 @@
  * google-benchmark microbenchmarks of the hot-path containers and
  * index math introduced by the performance rework: FlatMap vs.
  * std::unordered_map on the MSHR churn pattern, DaryHeap vs.
- * std::priority_queue on the completion-retirement pattern, and the
- * shift/mask address mapping. These isolate the per-structure wins
- * that `shmgpu bench-self` measures end to end.
+ * std::priority_queue on the completion-retirement pattern, the
+ * timing-wheel CalendarQueue vs. DaryHeap on the kernel engine's SM
+ * ready-event pattern, and the shift/mask address mapping. These
+ * isolate the per-structure wins that `shmgpu bench-self` measures
+ * end to end.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <queue>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/calendar_queue.hh"
 #include "common/dary_heap.hh"
 #include "common/flat_map.hh"
 #include "mem/addr_map.hh"
@@ -120,6 +124,70 @@ BM_PriorityQueueCompletions(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PriorityQueueCompletions);
+
+namespace
+{
+
+/**
+ * The event-driven kernel loop's SM ready-event pattern: 30 SMs with
+ * one pending event each; pop the earliest, re-schedule it a small
+ * delta ahead (back-to-back issue / compute batch) with an occasional
+ * DRAM-latency far push. The delta mix follows the distances the
+ * engine actually generates. `delta_sel` indexes a distribution from
+ * all-near to stall-heavy.
+ */
+template <typename Queue>
+void
+smReadyEventPattern(benchmark::State &state, Queue &queue,
+                    std::int64_t delta_sel)
+{
+    static constexpr Cycle near_deltas[] = {1, 1, 5, 17};
+    static constexpr Cycle far_deltas[] = {1, 5, 17, 400};
+    const Cycle *deltas =
+        delta_sel == 0 ? near_deltas : far_deltas;
+    for (SmId sm = 0; sm < 30; ++sm)
+        queue.push(sm % 7, sm);
+    std::uint64_t step = 0;
+    for (auto _ : state) {
+        auto [now, sm] = queue.popMin();
+        benchmark::DoNotOptimize(sm);
+        queue.push(now + deltas[step++ % 4], sm);
+    }
+}
+
+/** DaryHeap behind the CalendarQueue interface, for comparison. */
+struct HeapCalendar
+{
+    DaryHeap<std::pair<Cycle, std::uint32_t>> heap;
+    void push(Cycle at, std::uint32_t id) { heap.emplace(at, id); }
+    std::pair<Cycle, std::uint32_t>
+    popMin()
+    {
+        auto top = heap.top();
+        heap.pop();
+        return top;
+    }
+};
+
+} // namespace
+
+static void
+BM_CalendarQueueSmEvents(benchmark::State &state)
+{
+    CalendarQueue queue(30);
+    queue.clear(0);
+    smReadyEventPattern(state, queue, state.range(0));
+}
+BENCHMARK(BM_CalendarQueueSmEvents)->Arg(0)->Arg(1);
+
+static void
+BM_DaryHeapSmEvents(benchmark::State &state)
+{
+    HeapCalendar queue;
+    queue.heap.reserve(64);
+    smReadyEventPattern(state, queue, state.range(0));
+}
+BENCHMARK(BM_DaryHeapSmEvents)->Arg(0)->Arg(1);
 
 static void
 BM_AddressMapToLocal(benchmark::State &state)

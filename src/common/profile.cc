@@ -13,8 +13,12 @@ namespace
 constexpr std::size_t numPhases =
     static_cast<std::size_t>(Phase::NumPhases);
 
+constexpr std::size_t numCounters =
+    static_cast<std::size_t>(Counter::NumCounters);
+
 std::atomic<bool> profileEnabled{false};
 std::array<std::atomic<std::uint64_t>, numPhases> phaseNanos{};
+std::array<std::atomic<std::uint64_t>, numCounters> counters{};
 
 constexpr const char *phaseNames[numPhases] = {
     "init", "kernel_loop", "meta_path"};
@@ -38,6 +42,22 @@ reset()
 {
     for (auto &acc : phaseNanos)
         acc.store(0, std::memory_order_relaxed);
+    for (auto &acc : counters)
+        acc.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+count(Counter counter)
+{
+    return counters[static_cast<std::size_t>(counter)].load(
+        std::memory_order_relaxed);
+}
+
+void
+addCount(Counter counter, std::uint64_t n)
+{
+    counters[static_cast<std::size_t>(counter)].fetch_add(
+        n, std::memory_order_relaxed);
 }
 
 std::uint64_t
@@ -79,6 +99,17 @@ report(std::ostream &os)
     line(phaseNames[1], loop_s, total > 0 ? loop_s / total : 0);
     line(phaseNames[2], meta_s, loop_s > 0 ? meta_s / loop_s : 0);
     os << "  (meta_path share is of kernel_loop time)\n";
+
+    std::uint64_t cycles = count(Counter::KernelCycles);
+    std::uint64_t skipped = count(Counter::CyclesSkipped);
+    if (cycles > 0) {
+        os << "kernel-loop cycle calendar:\n"
+           << "  cycles        " << cycles << "\n"
+           << "  skipped       " << skipped << "  ("
+           << 100.0 * static_cast<double>(skipped) /
+                  static_cast<double>(cycles)
+           << "% advanced without enumeration)\n";
+    }
 }
 
 } // namespace shmgpu::profile

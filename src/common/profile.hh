@@ -34,6 +34,19 @@ enum class Phase : std::uint8_t
     NumPhases
 };
 
+/**
+ * Event counters alongside the phase timers. The event-driven kernel
+ * loop reports how many simulated cycles it advanced and how many of
+ * those it jumped over without enumerating — the profile's measure of
+ * how much per-cycle polling the calendar removed.
+ */
+enum class Counter : std::uint8_t
+{
+    KernelCycles,  //!< simulated cycles advanced by the kernel loop
+    CyclesSkipped, //!< cycles the calendar jumped without events
+    NumCounters
+};
+
 /** Global enable flag (relaxed; checked once per instrumented scope). */
 bool enabled();
 void setEnabled(bool on);
@@ -46,6 +59,12 @@ std::uint64_t nanos(Phase phase);
 
 /** Add @p ns to @p phase (used by ScopedTimer; also handy in tests). */
 void add(Phase phase, std::uint64_t ns);
+
+/** Accumulated value of @p counter. */
+std::uint64_t count(Counter counter);
+
+/** Add @p n to @p counter (callers gate on enabled() themselves). */
+void addCount(Counter counter, std::uint64_t n);
 
 /** Human-readable per-phase table (seconds and shares). */
 void report(std::ostream &os);

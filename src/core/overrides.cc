@@ -21,6 +21,8 @@ applyGpuOverrides(Config &config, gpu::GpuParams &p)
     p.icntLatency = config.getU64("gpu.icnt_latency", p.icntLatency);
     p.victimMissRateThreshold = config.getDouble(
         "gpu.victim_threshold", p.victimMissRateThreshold);
+    p.referenceKernelLoop = config.getBool("gpu.reference_loop",
+                                           p.referenceKernelLoop);
 
     p.dram.bytesPerCycle =
         config.getDouble("dram.bytes_per_cycle", p.dram.bytesPerCycle);

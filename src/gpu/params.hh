@@ -55,6 +55,15 @@ struct GpuParams
     /** Per-kernel simulated-cycle budget (runaway protection). */
     Cycle maxCyclesPerKernel = 120000;
 
+    /**
+     * Drive the kernel loop with the per-cycle reference engine
+     * instead of the event-driven calendar. Both produce bit-identical
+     * statistics (tests/test_kernel_loop_diff.cc proves it on
+     * randomized workloads); the reference engine exists as that
+     * test's oracle and for A/B timing via `--reference-loop`.
+     */
+    bool referenceKernelLoop = false;
+
     /** @{ L2-victim-cache controls (Section IV-D). */
     double victimMissRateThreshold = 0.90;
     /** 1-in-N set sampling ratio for the data-miss-rate monitor. */

@@ -106,6 +106,12 @@ void
 Partition::hostCopy(LocalAddr base, std::uint64_t bytes,
                     bool declared_read_only)
 {
+    // Catches length underflow in the caller's range math: a copy
+    // window must lie inside the protected space, never wrap.
+    shm_assert(bytes <= gpuConfig.protectedBytesPerPartition &&
+                   base <= gpuConfig.protectedBytesPerPartition - bytes,
+               "host copy [{}, {}+{}) outside the protected space", base,
+               base, bytes);
     engine.hostCopy(base, bytes, declared_read_only);
 }
 

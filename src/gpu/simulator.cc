@@ -101,6 +101,10 @@ GpuSimulator::init()
     // Worst case every SM fills its load window.
     completions.reserve(static_cast<std::size_t>(gpuConfig.numSms) *
                         gpuConfig.smWindow);
+    for (auto &u : sms)
+        u.inflight.reserve(gpuConfig.smWindow);
+    calendar = CalendarQueue(gpuConfig.numSms);
+    calendar.reserve(gpuConfig.numSms); // each SM has at most one event
 
     rootStats.attach(nullptr, "sim");
     rootStats.addScalar("cycles", &statCycles, "simulated cycles");
@@ -111,6 +115,9 @@ GpuSimulator::init()
     rootStats.addScalar("kernels_run", &statKernelsRun, "kernel launches");
     rootStats.addScalar("cycle_cap_hits", &statCycleCapHits,
                         "kernels truncated by the cycle budget");
+    rootStats.addScalar("cycles_skipped", &statCyclesSkipped,
+                        "cycles the event-driven loop advanced over "
+                        "without enumerating");
     icnt.regStats(&rootStats);
     for (auto &p : partitions)
         p->regStats(&rootStats);
@@ -165,7 +172,10 @@ GpuSimulator::applyHostCopyRange(Addr base, std::uint64_t bytes,
     LocalAddr lo = base / stride * gpuConfig.interleaveBytes;
     LocalAddr hi = divCeil(base + bytes, stride) *
                    gpuConfig.interleaveBytes;
+    // Clamp both ends to the protected space: a copy that starts past
+    // it would otherwise make lo > hi and the length underflow.
     hi = std::min<LocalAddr>(hi, gpuConfig.protectedBytesPerPartition);
+    lo = std::min(lo, hi);
     for (auto &p : partitions)
         p->hostCopy(lo, hi - lo, declared_read_only);
 }
@@ -221,6 +231,195 @@ GpuSimulator::tickSm(SmId sm, Source &source, Cycle now)
 template <typename Source>
 void
 GpuSimulator::runKernelLoop(Source &source, std::uint32_t window)
+{
+    if (gpuConfig.referenceKernelLoop)
+        referenceKernelLoop(source, window);
+    else
+        eventKernelLoop(source, window);
+
+    for (auto &p : partitions)
+        p->kernelBoundary(currentCycle);
+    ++statKernelsRun;
+}
+
+/**
+ * The event-driven kernel engine.
+ *
+ * Nothing in the model needs densely enumerated cycles — the memory
+ * system, MEE, and detectors are all access-driven (every call takes
+ * `now`) — so instead of ticking every SM every cycle, each SM carries
+ * a next-ready cycle in a calendar and the loop jumps straight from
+ * one event to the next:
+ *
+ *   - op fetch at cycle c with N compute instructions retires the
+ *     whole batch at once and schedules the memory issue at c + N;
+ *   - a window-stalled read schedules its retry at the SM's earliest
+ *     in-flight completion cycle (the only cycle the per-cycle loop's
+ *     one-stall-per-cycle retry could succeed at);
+ *   - an issued memory op schedules the next fetch at c + 1
+ *     (back-to-back issue, as before).
+ *
+ * Bit-identical to referenceKernelLoop by construction: the calendar
+ * pops events in (cycle, SM-id) order — the reference loop's SM
+ * iteration order — every icnt/partition call receives the same `now`
+ * it would have received there, and completions retire before the
+ * owning SM's window check (retirement has no cross-SM effect, so
+ * per-SM lazy retirement is equivalent to the reference loop's global
+ * retire-before-issue phase). tests/test_kernel_loop_diff.cc holds
+ * the two engines equal on randomized workloads.
+ */
+template <typename Source>
+void
+GpuSimulator::eventKernelLoop(Source &source, std::uint32_t window)
+{
+    profile::ScopedTimer timer(profile::Phase::KernelLoop);
+
+    currentWindow = window;
+    const Cycle kernel_start = currentCycle;
+    // Saturate so a huge cycle budget cannot wrap the cap.
+    const Cycle cap_end =
+        gpuConfig.maxCyclesPerKernel > invalidCycle - kernel_start
+            ? invalidCycle
+            : kernel_start + gpuConfig.maxCyclesPerKernel;
+
+    calendar.clear(kernel_start);
+    for (auto &u : sms) {
+        u.hasOp = false;
+        u.computeLeft = 0;
+        u.drained = false;
+        shm_assert(u.inflight.empty(), "in-flight loads across kernels");
+    }
+    for (SmId sm = 0; sm < gpuConfig.numSms; ++sm)
+        calendar.push(kernel_start, sm);
+    drainedCount = 0;
+
+    std::uint64_t outstanding_total = 0;
+    Cycle max_completion = 0;    //!< latest load completion ever pushed
+    Cycle last_drain = kernel_start;
+    Cycle cursor = invalidCycle; //!< cycle of the last processed event
+    std::uint64_t busy_cycles = 0;
+
+    // Only events strictly before the cap are ever scheduled, so the
+    // calendar draining means every SM is drained or frozen by the cap.
+    while (!calendar.empty()) {
+        auto [now, sm] = calendar.popMin();
+        if (now != cursor) { // events < cap_end <= invalidCycle
+            cursor = now;
+            ++busy_cycles;
+        }
+        SmUnit &u = sms[sm];
+
+        // Retire this SM's completed loads before its window check;
+        // the reference loop retires all completions <= now before
+        // ticking any SM, and retirement only touches the owner.
+        while (!u.inflight.empty() && u.inflight.top() <= now) {
+            u.inflight.pop();
+            shm_assert(u.outstanding > 0, "spurious completion");
+            --u.outstanding;
+            --outstanding_total;
+        }
+
+        if (!u.hasOp) {
+            if (!source.next(sm, u.op)) {
+                u.drained = true;
+                ++drainedCount;
+                last_drain = now;
+                continue;
+            }
+            u.hasOp = true;
+            u.pa = map.toLocal(u.op.addr);
+            if (u.op.computeInstrs > 0) {
+                // The reference loop retires one compute instruction
+                // per cycle over [now, now + N); batch them, clamped
+                // to the cycles that exist before the cap.
+                Cycle n = u.op.computeInstrs;
+                Cycle avail = cap_end - now; // >= 1 by the invariant
+                u.instructions += std::min(n, avail);
+                if (n < avail)
+                    calendar.push(now + n, sm);
+                continue;
+            }
+            // computeInstrs == 0: the fetch cycle issues the memory op.
+        }
+
+        const mem::PartitionAddr pa = u.pa;
+        Partition &part = *partitions[pa.partition];
+
+        if (u.op.type == mem::AccessType::Read) {
+            if (u.outstanding >= currentWindow) {
+                // Window full: the reference loop burns one stall per
+                // cycle until this SM's earliest completion retires
+                // (nothing else shrinks its window). A zero window
+                // never unstalls — it spins to the cap.
+                Cycle retry = u.inflight.empty() ? cap_end
+                                                 : u.inflight.top();
+                u.windowStalls += std::min(retry, cap_end) - now;
+                if (retry < cap_end)
+                    calendar.push(retry, sm);
+                continue;
+            }
+            Cycle arrive = icnt.request(pa.partition,
+                                        gpuConfig.icnt.requestBytes,
+                                        now);
+            Cycle ready =
+                part.read(pa.local, u.op.addr, arrive, u.op.space);
+            Cycle complete =
+                icnt.reply(pa.partition, u.op.bytes, ready);
+            u.inflight.push(complete);
+            max_completion = std::max(max_completion, complete);
+            ++u.outstanding;
+            ++outstanding_total;
+        } else {
+            Cycle arrive = icnt.request(
+                pa.partition, gpuConfig.icnt.requestBytes + u.op.bytes,
+                now);
+            part.write(pa.local, u.op.addr, arrive);
+        }
+        ++u.instructions;
+        u.hasOp = false;
+        if (now + 1 < cap_end)
+            calendar.push(now + 1, sm); // back-to-back issue
+    }
+
+    // Wind the clock to where the reference loop would have stopped:
+    // one past the last event if everything drained and landed before
+    // the cap, the cap itself (with the cap-hit bookkeeping) if not.
+    Cycle final_cycle;
+    bool cap_hit;
+    if (drainedCount == gpuConfig.numSms) {
+        Cycle done = std::max(last_drain, max_completion);
+        cap_hit = done >= cap_end;
+        final_cycle = cap_hit ? cap_end : done + 1;
+    } else {
+        // Some SM was frozen by the cap mid-compute or mid-stall.
+        cap_hit = true;
+        final_cycle = cap_end;
+    }
+    if (cap_hit)
+        ++statCycleCapHits;
+    // Drain the bookkeeping. On a cap hit the outstanding loads are
+    // abandoned (as in the reference loop); on a normal exit every
+    // completion is <= final_cycle but was never lazily popped if its
+    // SM drained first — either way the heaps end the kernel empty.
+    for (auto &u : sms) {
+        u.inflight.clear();
+        u.outstanding = 0;
+    }
+    outstanding_total = 0;
+    currentCycle = final_cycle;
+
+    std::uint64_t advanced = final_cycle - kernel_start;
+    cyclesSkipped += advanced - busy_cycles;
+    if (profile::enabled()) {
+        profile::addCount(profile::Counter::KernelCycles, advanced);
+        profile::addCount(profile::Counter::CyclesSkipped,
+                          advanced - busy_cycles);
+    }
+}
+
+template <typename Source>
+void
+GpuSimulator::referenceKernelLoop(Source &source, std::uint32_t window)
 {
     profile::ScopedTimer timer(profile::Phase::KernelLoop);
 
@@ -279,10 +478,6 @@ GpuSimulator::runKernelLoop(Source &source, std::uint32_t window)
             break;
         }
     }
-
-    for (auto &p : partitions)
-        p->kernelBoundary(currentCycle);
-    ++statKernelsRun;
 }
 
 void
@@ -333,6 +528,7 @@ GpuSimulator::run()
     }
     statInstructions.set(static_cast<double>(instructions));
     statWindowStalls.set(static_cast<double>(window_stalls));
+    statCyclesSkipped.set(static_cast<double>(cyclesSkipped));
 
     return gatherMetrics();
 }

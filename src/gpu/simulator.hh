@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/calendar_queue.hh"
 #include "common/dary_heap.hh"
 #include "common/stats.hh"
 #include "detect/oracle.hh"
@@ -88,6 +89,9 @@ class GpuSimulator : public mee::DramRouter
         bool drained = false;
         std::uint64_t instructions = 0;
         std::uint64_t windowStalls = 0;
+        /** Completion cycles of this SM's in-flight loads (event
+         *  engine); the earliest one is a stalled SM's retry cycle. */
+        DaryHeap<Cycle> inflight;
     };
 
     void init();
@@ -96,6 +100,14 @@ class GpuSimulator : public mee::DramRouter
     void runKernel(std::uint32_t kernel_idx);
     template <typename Source>
     void runKernelLoop(Source &source, std::uint32_t window);
+    /** Event-driven engine: jumps between SM ready cycles. */
+    template <typename Source>
+    void eventKernelLoop(Source &source, std::uint32_t window);
+    /** Per-cycle reference engine (the original loop); selected by
+     *  GpuParams::referenceKernelLoop, kept as the differential-test
+     *  oracle the event engine must match bit for bit. */
+    template <typename Source>
+    void referenceKernelLoop(Source &source, std::uint32_t window);
     template <typename Source>
     void tickSm(SmId sm, Source &source, Cycle now);
     RunMetrics gatherMetrics() const;
@@ -118,13 +130,19 @@ class GpuSimulator : public mee::DramRouter
     std::vector<SmUnit> sms;
 
     using Completion = std::pair<Cycle, SmId>;
-    /** Min-heap of in-flight load completions; pop order matches the
-     *  std::priority_queue<..., std::greater<>> it replaced. */
+    /** Min-heap of in-flight load completions (reference engine);
+     *  pop order matches the std::priority_queue<...,
+     *  std::greater<>> it replaced. */
     DaryHeap<Completion> completions;
+    /** Ready-cycle calendar of SM events (event engine); sized for
+     *  numSms ids in init(). */
+    CalendarQueue calendar{1};
 
     Cycle currentCycle = 0;
     std::uint32_t currentWindow = 0; //!< per-kernel occupancy cap
     std::uint32_t drainedCount = 0;  //!< SMs whose trace is exhausted
+    /** Cycles the event engine advanced over without enumerating. */
+    std::uint64_t cyclesSkipped = 0;
     detect::AccessProfile *collector = nullptr;
 
     stats::StatGroup rootStats;
@@ -133,6 +151,7 @@ class GpuSimulator : public mee::DramRouter
     stats::Scalar statWindowStalls;
     stats::Scalar statKernelsRun;
     stats::Scalar statCycleCapHits;
+    stats::Scalar statCyclesSkipped;
 };
 
 } // namespace shmgpu::gpu

@@ -91,7 +91,8 @@ usage()
               "  shmgpu list\n"
               "  shmgpu run (--workload NAME | --spec FILE) [--scheme SHM]"
               " [--gpu turing|big|test] [--cycles N] [--overrides CFG]"
-              " [--stats FILE] [--json FILE] [--accuracy] [--profile]\n"
+              " [--stats FILE] [--json FILE] [--accuracy] [--profile]"
+              " [--reference-loop]\n"
               "  shmgpu sweep [--workloads a,b,c|all] [--schemes X,Y|all]"
               " [--jobs N] [--gpu turing|big|test] [--cycles N]"
               " [--overrides CFG] [--out FILE] [--quiet]\n"
@@ -101,7 +102,7 @@ usage()
               "  shmgpu trace info --in FILE\n"
               "  shmgpu bench-self [--quick] [--cycles N] [--reps N]"
               " [--gpu turing|big|test] [--out BENCH_hotpath.json]"
-              " [--profile]");
+              " [--profile] [--reference-loop]");
     return 2;
 }
 
@@ -146,6 +147,10 @@ gpuParamsFrom(const Args &args)
     std::string cycles = args.get("cycles");
     if (!cycles.empty())
         gp.maxCyclesPerKernel = std::stoull(cycles);
+    // A/B escape hatch: drive the per-cycle reference engine instead
+    // of the event-driven calendar (also gpu.reference_loop override).
+    if (args.has("reference-loop"))
+        gp.referenceKernelLoop = true;
     return gp;
 }
 
@@ -326,6 +331,8 @@ cmdBenchSelf(const Args &args)
 
     gpu::GpuParams gp = gpu::presetByName(args.get("gpu", "turing"));
     gp.maxCyclesPerKernel = cycles;
+    if (args.has("reference-loop"))
+        gp.referenceKernelLoop = true;
 
     std::vector<const workload::WorkloadSpec *> workloads;
     for (const auto &name : workload_names)
@@ -361,6 +368,7 @@ cmdBenchSelf(const Args &args)
     json::Value doc = json::Value::object();
     doc["benchmark"] = "bench-self";
     doc["gpu"] = args.get("gpu", "turing");
+    doc["kernel_loop"] = gp.referenceKernelLoop ? "reference" : "event";
     doc["max_cycles_per_kernel"] = cycles;
     doc["reps"] = static_cast<std::uint64_t>(reps);
     doc["cells"] = static_cast<std::uint64_t>(cells);

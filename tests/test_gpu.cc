@@ -288,3 +288,31 @@ TEST(Interconnect, StatsRegistration)
     EXPECT_TRUE(found);
     EXPECT_EQ(root.lookup("icnt.reply_bytes", &found), 32);
 }
+
+TEST(GpuSimulator, HostCopyPastProtectedSpaceIsClamped)
+{
+    // A trace can carry a host copy whose base lies beyond the
+    // per-partition protected space. The clamped local window must
+    // come out empty — before applyHostCopyRange clamped `lo` as well
+    // as `hi`, the u64 length underflowed to ~2^64 bytes.
+    GpuParams gp = testConfig();
+    workload::Trace tr;
+    tr.numSms = gp.numSms;
+    workload::TraceKernel k;
+    k.copies.push_back({/*base=*/1ull << 30, /*bytes=*/4096,
+                        /*declaredReadOnly=*/true});
+    for (SmId sm = 0; sm < gp.numSms; ++sm) {
+        workload::TraceRecord r;
+        r.sm = sm;
+        r.op.addr = 64ull * sm;
+        r.op.computeInstrs = 1;
+        k.records.push_back(r);
+    }
+    tr.kernels.push_back(k);
+
+    GpuSimulator sim(gp, schemes::makeMeeParams(schemes::Scheme::Shm),
+                     tr);
+    RunMetrics m = sim.run();
+    EXPECT_GT(m.cycles, 0u);
+    EXPECT_EQ(m.instructions, 2ull * gp.numSms); // compute + read each
+}
