@@ -15,9 +15,12 @@ import json
 import sys
 
 # A fresh result must match the baseline on these fields for the
-# throughput comparison to mean anything.
+# throughput comparison to mean anything. "shards" keeps a sharded run
+# from being compared against the serial baseline (absent in baselines
+# recorded before the field existed, which .get() treats as None —
+# re-record the baseline to compare).
 CONFIG_KEYS = ("benchmark", "gpu", "kernel_loop",
-               "max_cycles_per_kernel", "cells")
+               "max_cycles_per_kernel", "cells", "shards")
 
 
 def load(path):

@@ -135,6 +135,27 @@ class CalendarQueue
         }
     }
 
+    /**
+     * The cycle of the earliest pending event, without removing it.
+     * The queue must not be empty. Used by the shard engine to decide
+     * whether the next event still falls inside the current epoch.
+     */
+    Cycle
+    minCycle() const
+    {
+        shm_assert(count > 0, "minCycle on an empty calendar");
+        Cycle best = invalidCycle;
+        if (occupied != 0) {
+            std::uint32_t base = cursor & slotMask;
+            std::uint32_t delta = static_cast<std::uint32_t>(
+                std::countr_zero(std::rotr(occupied, base)));
+            best = cursor + delta;
+        }
+        if (!overflow.empty())
+            best = std::min(best, overflow.top().first);
+        return best;
+    }
+
   private:
     static constexpr std::uint32_t wheelSlots = 64;
     static constexpr std::uint32_t slotMask = wheelSlots - 1;

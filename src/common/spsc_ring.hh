@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Bounded single-producer / single-consumer ring buffer.
+ *
+ * The shard engine's transaction layer moves `mem::Transaction`s from
+ * the SM loop (one producer: the simulation thread) into each memory
+ * domain's inbox (one consumer: the worker that owns the domain), and
+ * completions back the other way. Both directions are strictly
+ * single-producer single-consumer, so the classic two-index lock-free
+ * ring applies: the producer owns `tail`, the consumer owns `head`,
+ * and each side publishes its index with a release store the other
+ * side acquires. Each side also keeps a cached copy of the opposing
+ * index so the hot path usually touches only its own cache line.
+ *
+ * Determinism contract: the ring is FIFO. The consumer pops elements
+ * in exactly the order the producer pushed them, which is what lets a
+ * domain replay its transaction stream in the serial engine's order.
+ *
+ * Capacity is rounded up to a power of two so the index math is a
+ * single mask. tryPush on a full ring and tryPop on an empty ring
+ * return false and leave the ring untouched.
+ */
+
+#ifndef SHMGPU_COMMON_SPSC_RING_HH
+#define SHMGPU_COMMON_SPSC_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace shmgpu
+{
+
+/** Lock-free bounded FIFO between exactly one producer and one
+ *  consumer thread. */
+template <typename T>
+class SpscRing
+{
+  public:
+    /** A ring holding at least @p min_capacity elements (rounded up
+     *  to the next power of two, minimum 2). */
+    explicit SpscRing(std::size_t min_capacity)
+        : slots(std::size_t{1}
+                << ceilLog2(min_capacity < 2 ? 2 : min_capacity)),
+          mask(slots.size() - 1)
+    {
+        shm_assert(min_capacity <= (std::size_t{1} << 62),
+                   "SPSC ring capacity {} is absurd", min_capacity);
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    std::size_t capacity() const { return slots.size(); }
+
+    /** Producer side: append @p value; false when the ring is full. */
+    bool
+    tryPush(const T &value)
+    {
+        const std::uint64_t t = tail.load(std::memory_order_relaxed);
+        if (t - headCache == slots.size()) {
+            headCache = head.load(std::memory_order_acquire);
+            if (t - headCache == slots.size())
+                return false;
+        }
+        slots[t & mask] = value;
+        tail.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side: pop the oldest element into @p out; false when
+     *  the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        const std::uint64_t h = head.load(std::memory_order_relaxed);
+        if (h == tailCache) {
+            tailCache = tail.load(std::memory_order_acquire);
+            if (h == tailCache)
+                return false;
+        }
+        out = slots[h & mask];
+        head.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer-side view; racy from any other thread. */
+    bool
+    empty() const
+    {
+        return head.load(std::memory_order_acquire) ==
+               tail.load(std::memory_order_acquire);
+    }
+
+    /** Element count as seen between the two published indices;
+     *  exact only while both sides are quiescent (epoch barriers). */
+    std::size_t
+    size() const
+    {
+        return static_cast<std::size_t>(
+            tail.load(std::memory_order_acquire) -
+            head.load(std::memory_order_acquire));
+    }
+
+  private:
+    std::vector<T> slots;
+    const std::uint64_t mask;
+
+    /** Consumer-owned index of the next pop. */
+    alignas(64) std::atomic<std::uint64_t> head{0};
+    /** Producer's cached view of head (refreshed when full). */
+    alignas(64) std::uint64_t headCache = 0;
+    /** Producer-owned index of the next push. */
+    alignas(64) std::atomic<std::uint64_t> tail{0};
+    /** Consumer's cached view of tail (refreshed when empty). */
+    alignas(64) std::uint64_t tailCache = 0;
+};
+
+} // namespace shmgpu
+
+#endif // SHMGPU_COMMON_SPSC_RING_HH

@@ -19,6 +19,8 @@ applyGpuOverrides(Config &config, gpu::GpuParams &p)
         config.getU64("gpu.l2_assoc", p.l2Assoc));
     p.l2HitLatency = config.getU64("gpu.l2_hit_latency", p.l2HitLatency);
     p.icntLatency = config.getU64("gpu.icnt_latency", p.icntLatency);
+    p.shards = static_cast<std::uint32_t>(
+        config.getU64("gpu.shards", p.shards));
     p.victimMissRateThreshold = config.getDouble(
         "gpu.victim_threshold", p.victimMissRateThreshold);
     p.referenceKernelLoop = config.getBool("gpu.reference_loop",

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "gpu/partition.hh"
 
 namespace shmgpu::gpu
 {
@@ -43,6 +44,86 @@ Interconnect::reply(PartitionId partition, std::uint32_t bytes, Cycle now)
     ++statReplies;
     statReplyBytes += bytes;
     return traverse(toSm.at(partition), bytes, now);
+}
+
+Cycle
+Interconnect::serveNow(const mem::Transaction &t, Partition &part)
+{
+    if (t.type == mem::AccessType::Read) {
+        Cycle arrive = request(t.partition, config.requestBytes, t.issue);
+        Cycle ready = part.serve(t, arrive);
+        return reply(t.partition, t.bytes, ready);
+    }
+    Cycle arrive =
+        request(t.partition, config.requestBytes + t.bytes, t.issue);
+    part.serve(t, arrive);
+    return arrive;
+}
+
+void
+Interconnect::buildTransactionLayer(std::vector<Partition *> parts,
+                                    std::vector<std::uint32_t> domain_of,
+                                    std::uint32_t num_domains,
+                                    std::size_t ring_capacity)
+{
+    shm_assert(domains.empty(), "transaction layer built twice");
+    shm_assert(parts.size() == toPartition.size() &&
+                   domain_of.size() == parts.size(),
+               "transaction layer over {} partitions but the crossbar "
+               "has {}",
+               parts.size(), toPartition.size());
+    shm_assert(num_domains > 0, "need at least one domain");
+    for (std::uint32_t d : domain_of)
+        shm_assert(d < num_domains, "partition mapped to domain {} of {}",
+                   d, num_domains);
+
+    partitions = std::move(parts);
+    domainOfPartition = std::move(domain_of);
+    domains.reserve(num_domains);
+    for (std::uint32_t d = 0; d < num_domains; ++d)
+        domains.push_back(std::make_unique<DomainState>(ring_capacity));
+}
+
+void
+Interconnect::drainDomain(std::uint32_t domain)
+{
+    DomainState &dom = *domains[domain];
+    mem::Transaction t;
+    while (dom.inbox.tryPop(t)) {
+        Partition &part = *partitions[t.partition];
+        if (t.type == mem::AccessType::Read) {
+            // Mirrors request(): header-sized message toward the
+            // partition, stats into the domain's private replica.
+            ++dom.requests;
+            dom.requestBytes += config.requestBytes;
+            Cycle arrive = traverse(toPartition[t.partition],
+                                    config.requestBytes, t.issue);
+            Cycle ready = part.serve(t, arrive);
+            // Mirrors reply().
+            ++dom.replies;
+            dom.replyBytes += t.bytes;
+            Cycle complete = traverse(toSm[t.partition], t.bytes, ready);
+            bool ok = dom.outbox.tryPush({complete, t.sm});
+            shm_assert(ok, "domain {} outbox overflow ({} slots)", domain,
+                       dom.outbox.capacity());
+        } else {
+            std::uint32_t bytes = config.requestBytes + t.bytes;
+            ++dom.requests;
+            dom.requestBytes += bytes;
+            Cycle arrive =
+                traverse(toPartition[t.partition], bytes, t.issue);
+            part.serve(t, arrive);
+        }
+    }
+}
+
+void
+Interconnect::mergeShardStats()
+{
+    for (auto &dom : domains) {
+        statGroup.mergeFrom(dom->group);
+        dom->group.resetAll();
+    }
 }
 
 void

@@ -56,6 +56,20 @@ struct GpuParams
     Cycle maxCyclesPerKernel = 120000;
 
     /**
+     * Worker threads ticking the memory partitions (`--shards N` /
+     * `gpu.shards`). 1 (the default) keeps the fully serial engine.
+     * N>1 runs the epoch-barriered shard engine: partitions are
+     * grouped into independent domains (one per partition for
+     * local-metadata schemes; a single domain when metadata crosses
+     * partitions) and domain work is spread over min(N, domains)
+     * threads, one of them the simulation thread itself. Results are
+     * bit-identical for every value (tests/test_shard_diff.cc). This
+     * parallelism multiplies with sweep --jobs: a sweep runs
+     * jobs x shards threads, so size the product to the machine.
+     */
+    std::uint32_t shards = 1;
+
+    /**
      * Drive the kernel loop with the per-cycle reference engine
      * instead of the event-driven calendar. Both produce bit-identical
      * statistics (tests/test_kernel_loop_diff.cc proves it on

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/bitops.hh"
 #include "common/logging.hh"
 
 namespace shmgpu::gpu
@@ -27,10 +28,15 @@ Partition::Partition(const GpuParams &gpu_params,
                      mee::DramRouter *router, const mem::AddressMap *map,
                      meta::CommonCounterTable *common_table)
     : gpuConfig(gpu_params), meeConfig(mee_params), partitionId(id),
-      addrMap(map), dram(channelParams(gpu_params, id)),
+      addrMap(map), bankMask(gpu_params.l2BanksPerPartition - 1),
+      dram(channelParams(gpu_params, id)),
       engine(mee_params, id, layout, router,
              mee_params.victimL2 ? this : nullptr, map, common_table)
 {
+    shm_assert(isPowerOf2(gpu_params.l2BanksPerPartition),
+               "partition {}: l2BanksPerPartition must be a power of two "
+               "(got {}) — bank selection is shift/mask on 128 B sub-lines",
+               id, gpu_params.l2BanksPerPartition);
     for (std::uint32_t b = 0; b < gpu_params.l2BanksPerPartition; ++b)
         banks.push_back(std::make_unique<L2Bank>(gpu_params, id, b));
     statReadLatencyHist.init(0, 4096, 32);
@@ -90,6 +96,15 @@ Partition::read(LocalAddr local, Addr phys, Cycle now, MemSpace space)
     }
     handleWriteback(res.writeback, now);
     return ready;
+}
+
+Cycle
+Partition::serve(const mem::Transaction &t, Cycle arrive)
+{
+    if (t.type == mem::AccessType::Read)
+        return read(t.local, t.phys, arrive, t.space);
+    write(t.local, t.phys, arrive, t.space);
+    return arrive;
 }
 
 void

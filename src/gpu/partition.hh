@@ -19,6 +19,7 @@
 #include "mee/engine.hh"
 #include "mem/addr_map.hh"
 #include "mem/dram.hh"
+#include "mem/request.hh"
 
 namespace shmgpu::gpu
 {
@@ -43,6 +44,14 @@ class Partition : public mee::VictimCacheIf
     /** SM write of the 32 B sector at @p local. Fire-and-forget. */
     void write(LocalAddr local, Addr phys, Cycle now,
                MemSpace space = MemSpace::Global);
+
+    /**
+     * Serve one transaction arriving at the partition at @p arrive:
+     * dispatches to read()/write() from the message fields. Returns
+     * the cycle data leaves the partition for reads, @p arrive for
+     * writes (fire-and-forget).
+     */
+    Cycle serve(const mem::Transaction &t, Cycle arrive);
 
     /** Host copy covering [base, base+bytes) of this partition. */
     void hostCopy(LocalAddr base, std::uint64_t bytes,
@@ -83,9 +92,15 @@ class Partition : public mee::VictimCacheIf
     void regStats(stats::StatGroup *parent);
 
   private:
+    /** Banks interleave on 128 B sub-lines; the bank count is asserted
+     *  to be a power of two, so selection is a shift and a mask (same
+     *  convention as SectoredCache set and AddressMap partition
+     *  indexing). */
+    static constexpr std::uint32_t bankShift = 7; // log2(128)
+
     std::uint32_t bankOf(Addr local) const
     {
-        return static_cast<std::uint32_t>((local / 128) % banks.size());
+        return static_cast<std::uint32_t>(local >> bankShift) & bankMask;
     }
 
     /** Route an evicted L2 line to DRAM (and the MEE, for data). */
@@ -95,6 +110,7 @@ class Partition : public mee::VictimCacheIf
     mee::MeeParams meeConfig;
     PartitionId partitionId;
     const mem::AddressMap *addrMap;
+    std::uint32_t bankMask;
     mem::DramChannel dram;
     std::vector<std::unique_ptr<L2Bank>> banks;
     mee::MeeEngine engine;

@@ -1,0 +1,86 @@
+#include "gpu/shard_pool.hh"
+
+#include "common/logging.hh"
+
+namespace shmgpu::gpu
+{
+
+ShardPool::ShardPool(std::uint32_t num_workers, std::uint32_t num_domains,
+                     std::function<void(std::uint32_t)> work)
+    : workerCount(num_workers), numDomains(num_domains),
+      task(std::move(work))
+{
+    shm_assert(workerCount > 0, "shard pool needs at least one worker");
+    shm_assert(workerCount <= numDomains,
+               "{} workers for {} domains — cap shards at the domain "
+               "count before building the pool",
+               workerCount, numDomains);
+    threads.reserve(workerCount - 1);
+    for (std::uint32_t w = 1; w < workerCount; ++w)
+        threads.emplace_back([this, w] { workerMain(w); });
+}
+
+ShardPool::~ShardPool()
+{
+    stopping.store(true, std::memory_order_release);
+    generation.fetch_add(1, std::memory_order_release);
+    generation.notify_all();
+    for (auto &t : threads)
+        t.join();
+}
+
+void
+ShardPool::runEpoch()
+{
+    // Publish the epoch: everything the simulation thread wrote before
+    // this release bump (inbox transactions, parked state) is visible
+    // to workers once they acquire the new generation.
+    remaining.store(workerCount - 1, std::memory_order_relaxed);
+    generation.fetch_add(1, std::memory_order_release);
+    generation.notify_all();
+
+    // The simulation thread is worker 0.
+    for (std::uint32_t d = 0; d < numDomains; d += workerCount)
+        task(d);
+
+    // Close the barrier: the acquire loads pair with each worker's
+    // acq_rel decrement, so all worker-side writes are visible here.
+    std::uint32_t spins = 0;
+    for (;;) {
+        std::uint32_t left = remaining.load(std::memory_order_acquire);
+        if (left == 0)
+            break;
+        if (++spins >= spinLimit) {
+            remaining.wait(left, std::memory_order_acquire);
+            spins = 0;
+        }
+    }
+}
+
+void
+ShardPool::workerMain(std::uint32_t worker)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::uint64_t gen;
+        std::uint32_t spins = 0;
+        while ((gen = generation.load(std::memory_order_acquire)) ==
+               seen) {
+            if (++spins >= spinLimit) {
+                generation.wait(seen, std::memory_order_acquire);
+                spins = 0;
+            }
+        }
+        seen = gen;
+        if (stopping.load(std::memory_order_acquire))
+            return;
+
+        for (std::uint32_t d = worker; d < numDomains; d += workerCount)
+            task(d);
+
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            remaining.notify_all();
+    }
+}
+
+} // namespace shmgpu::gpu

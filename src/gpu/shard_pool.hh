@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fixed worker pool for the epoch-barriered shard engine.
+ *
+ * The simulation thread advances the SM loop through one epoch, then
+ * calls runEpoch(): every worker drains the domains it owns (domain d
+ * belongs to worker d % N, walked in ascending d so each worker's
+ * serve order is deterministic), and runEpoch() returns only when all
+ * of them have finished — a full barrier. The simulation thread is
+ * itself worker 0, so `--shards 1` never blocks on another thread and
+ * `--shards N` spawns N-1 std::threads.
+ *
+ * Synchronization is two atomics: a generation counter the simulation
+ * thread bumps (release) to start an epoch and workers wait on
+ * (acquire), and a remaining counter each worker decrements (acq_rel)
+ * when done, which the simulation thread waits to reach zero
+ * (acquire). The release/acquire pairs give the happens-before edges
+ * ThreadSanitizer (and the C++ memory model) need: inbox contents
+ * published before the bump are visible to workers, and every
+ * partition/stat write a worker makes is visible to the simulation
+ * thread once the barrier closes. Waits spin briefly before falling
+ * back to atomic wait/notify, since epochs are short (tens of
+ * simulated cycles) and futex round trips would dominate.
+ */
+
+#ifndef SHMGPU_GPU_SHARD_POOL_HH
+#define SHMGPU_GPU_SHARD_POOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace shmgpu::gpu
+{
+
+/** N-worker barrier pool mapping domain d to worker d % N. */
+class ShardPool
+{
+  public:
+    /**
+     * Spawn @p num_workers - 1 threads (the caller is worker 0), each
+     * epoch running @p work(d) for its share of @p num_domains
+     * domains.
+     */
+    ShardPool(std::uint32_t num_workers, std::uint32_t num_domains,
+              std::function<void(std::uint32_t)> work);
+
+    /** Stops and joins the spawned workers. */
+    ~ShardPool();
+
+    ShardPool(const ShardPool &) = delete;
+    ShardPool &operator=(const ShardPool &) = delete;
+
+    /**
+     * Run one epoch: every domain is drained exactly once and all
+     * workers have finished when this returns (call from the thread
+     * that constructed the pool).
+     */
+    void runEpoch();
+
+    std::uint32_t numWorkers() const { return workerCount; }
+
+  private:
+    void workerMain(std::uint32_t worker);
+
+    /** Iterations to spin on an atomic before parking on wait().
+     *  Long enough to catch a worker finishing within a few hundred
+     *  nanoseconds, short enough that an oversubscribed (or
+     *  single-core) machine falls through to the futex quickly
+     *  instead of burning its only timeslice spinning. */
+    static constexpr std::uint32_t spinLimit = 1u << 12;
+
+    std::uint32_t workerCount;
+    std::uint32_t numDomains;
+    std::function<void(std::uint32_t)> task;
+
+    alignas(64) std::atomic<std::uint64_t> generation{0};
+    alignas(64) std::atomic<std::uint32_t> remaining{0};
+    std::atomic<bool> stopping{false};
+
+    std::vector<std::thread> threads;
+};
+
+} // namespace shmgpu::gpu
+
+#endif // SHMGPU_GPU_SHARD_POOL_HH

@@ -20,6 +20,21 @@ makeIcntParams(const GpuParams &gp)
     return p;
 }
 
+/** Package one SM memory op as an explicit transaction message. */
+mem::Transaction
+makeTxn(const workload::TraceOp &op, const mem::PartitionAddr &pa,
+        SmId sm, Cycle now)
+{
+    return {.phys = op.addr,
+            .local = pa.local,
+            .issue = now,
+            .partition = pa.partition,
+            .sm = sm,
+            .bytes = op.bytes,
+            .type = op.type,
+            .space = op.space};
+}
+
 } // namespace
 
 GpuSimulator::GpuSimulator(const GpuParams &gpu_params,
@@ -105,6 +120,48 @@ GpuSimulator::init()
         u.inflight.reserve(gpuConfig.smWindow);
     calendar = CalendarQueue(gpuConfig.numSms);
     calendar.reserve(gpuConfig.numSms); // each SM has at most one event
+
+    // Shard engine. The epoch length is the minimum SM->partition->SM
+    // feedback distance: a request serializes for >= 1 cycle and
+    // traverses the crossbar each way, and even an L2 hit pays
+    // l2HitLatency, so a read issued at cycle c completes no earlier
+    // than c + 2*(icntLatency+1) + l2HitLatency. Epochs never exceed
+    // that distance, which is what lets barriers defer completion
+    // delivery without any SM noticing.
+    epochLength = 2 * (gpuConfig.icntLatency + 1) + gpuConfig.l2HitLatency;
+    // Partitions are independent domains unless the MEE routes
+    // metadata by physical address (secure Naive/CommonCtr), which
+    // crosses partitions and shares one CommonCounterTable — then
+    // everything collapses into a single domain and sharding cannot
+    // help, so the serial engine runs instead (bit-identical either
+    // way; the speedup exists exactly where the paper's PSSM
+    // decomposition applies).
+    const bool coupled =
+        meeConfig.secure && !meeConfig.localMetadataAddressing;
+    const std::uint32_t num_domains =
+        coupled ? 1u : gpuConfig.numPartitions;
+    effectiveShards = std::min(gpuConfig.shards > 0 ? gpuConfig.shards : 1,
+                               num_domains);
+    if (gpuConfig.referenceKernelLoop)
+        effectiveShards = 1;
+    if (effectiveShards > 1) {
+        std::vector<Partition *> parts;
+        parts.reserve(partitions.size());
+        for (auto &p : partitions)
+            parts.push_back(p.get());
+        std::vector<std::uint32_t> domain_of(gpuConfig.numPartitions);
+        for (PartitionId p = 0; p < gpuConfig.numPartitions; ++p)
+            domain_of[p] = coupled ? 0 : p;
+        // An SM submits at most one transaction per cycle, so one
+        // epoch bounds each domain's inbox depth.
+        std::size_t ring_cap =
+            static_cast<std::size_t>(gpuConfig.numSms) * epochLength + 1;
+        icnt.buildTransactionLayer(std::move(parts), std::move(domain_of),
+                                   num_domains, ring_cap);
+        shardPool = std::make_unique<ShardPool>(
+            effectiveShards, num_domains,
+            [this](std::uint32_t d) { icnt.drainDomain(d); });
+    }
 
     rootStats.attach(nullptr, "sim");
     rootStats.addScalar("cycles", &statCycles, "simulated cycles");
@@ -213,16 +270,12 @@ GpuSimulator::tickSm(SmId sm, Source &source, Cycle now)
             ++u.windowStalls;
             return; // retry next cycle
         }
-        Cycle arrive = icnt.request(pa.partition,
-                                    gpuConfig.icnt.requestBytes, now);
-        Cycle ready = part.read(pa.local, u.op.addr, arrive, u.op.space);
-        completions.emplace(icnt.reply(pa.partition, u.op.bytes, ready),
+        completions.emplace(icnt.serveNow(makeTxn(u.op, pa, sm, now),
+                                          part),
                             sm);
         ++u.outstanding;
     } else {
-        Cycle arrive = icnt.request(
-            pa.partition, gpuConfig.icnt.requestBytes + u.op.bytes, now);
-        part.write(pa.local, u.op.addr, arrive);
+        icnt.serveNow(makeTxn(u.op, pa, sm, now), part);
     }
     ++u.instructions;
     u.hasOp = false;
@@ -234,6 +287,8 @@ GpuSimulator::runKernelLoop(Source &source, std::uint32_t window)
 {
     if (gpuConfig.referenceKernelLoop)
         referenceKernelLoop(source, window);
+    else if (effectiveShards > 1)
+        shardedKernelLoop(source, window);
     else
         eventKernelLoop(source, window);
 
@@ -358,22 +413,14 @@ GpuSimulator::eventKernelLoop(Source &source, std::uint32_t window)
                     calendar.push(retry, sm);
                 continue;
             }
-            Cycle arrive = icnt.request(pa.partition,
-                                        gpuConfig.icnt.requestBytes,
-                                        now);
-            Cycle ready =
-                part.read(pa.local, u.op.addr, arrive, u.op.space);
             Cycle complete =
-                icnt.reply(pa.partition, u.op.bytes, ready);
+                icnt.serveNow(makeTxn(u.op, pa, sm, now), part);
             u.inflight.push(complete);
             max_completion = std::max(max_completion, complete);
             ++u.outstanding;
             ++outstanding_total;
         } else {
-            Cycle arrive = icnt.request(
-                pa.partition, gpuConfig.icnt.requestBytes + u.op.bytes,
-                now);
-            part.write(pa.local, u.op.addr, arrive);
+            icnt.serveNow(makeTxn(u.op, pa, sm, now), part);
         }
         ++u.instructions;
         u.hasOp = false;
@@ -406,6 +453,186 @@ GpuSimulator::eventKernelLoop(Source &source, std::uint32_t window)
         u.outstanding = 0;
     }
     outstanding_total = 0;
+    currentCycle = final_cycle;
+
+    std::uint64_t advanced = final_cycle - kernel_start;
+    cyclesSkipped += advanced - busy_cycles;
+    if (profile::enabled()) {
+        profile::addCount(profile::Counter::KernelCycles, advanced);
+        profile::addCount(profile::Counter::CyclesSkipped,
+                          advanced - busy_cycles);
+    }
+}
+
+/**
+ * The sharded kernel engine: eventKernelLoop cut into epochs no longer
+ * than the minimum SM->partition->SM round trip (epochLength).
+ *
+ * Inside an epoch the SM loop runs exactly the event engine's event
+ * sequence, but memory ops become transactions in the domains'
+ * inboxes instead of synchronous partition calls. At the epoch
+ * barrier the ShardPool drains every domain — each domain's inbox is
+ * its partitions' serial call sequence in the serial order, replayed
+ * with the recorded issue cycles against partition-confined state, so
+ * the arithmetic is bit-identical — and the replies come home before
+ * any SM could need them: a read issued inside the epoch completes at
+ * or after the epoch's end by the round-trip bound.
+ *
+ * The one place the serial engine peeks at a completion mid-epoch is
+ * a window-stalled SM's retry cycle (its earliest in-flight
+ * completion). If a delivered completion earlier than the epoch limit
+ * exists it is authoritative (undelivered ones land at or after the
+ * limit); otherwise the SM parks and the barrier resolves the retry
+ * with the serial loop's exact stall accounting, charged from the
+ * original stall cycle.
+ */
+template <typename Source>
+void
+GpuSimulator::shardedKernelLoop(Source &source, std::uint32_t window)
+{
+    profile::ScopedTimer timer(profile::Phase::KernelLoop);
+
+    currentWindow = window;
+    const Cycle kernel_start = currentCycle;
+    const Cycle cap_end =
+        gpuConfig.maxCyclesPerKernel > invalidCycle - kernel_start
+            ? invalidCycle
+            : kernel_start + gpuConfig.maxCyclesPerKernel;
+
+    calendar.clear(kernel_start);
+    for (auto &u : sms) {
+        u.hasOp = false;
+        u.computeLeft = 0;
+        u.drained = false;
+        shm_assert(u.inflight.empty(), "in-flight loads across kernels");
+    }
+    for (SmId sm = 0; sm < gpuConfig.numSms; ++sm)
+        calendar.push(kernel_start, sm);
+    drainedCount = 0;
+    parked.clear();
+    pendingTxns = 0;
+
+    Cycle max_completion = 0;
+    Cycle last_drain = kernel_start;
+    Cycle cursor = invalidCycle;
+    std::uint64_t busy_cycles = 0;
+    Cycle epoch_base = kernel_start;
+
+    while (!calendar.empty() || pendingTxns > 0 || !parked.empty()) {
+        const Cycle epoch_lim =
+            epochLength > cap_end - epoch_base ? cap_end
+                                               : epoch_base + epochLength;
+
+        while (!calendar.empty() && calendar.minCycle() < epoch_lim) {
+            auto [now, sm] = calendar.popMin();
+            if (now != cursor) {
+                cursor = now;
+                ++busy_cycles;
+            }
+            SmUnit &u = sms[sm];
+
+            while (!u.inflight.empty() && u.inflight.top() <= now) {
+                u.inflight.pop();
+                shm_assert(u.outstanding > 0, "spurious completion");
+                --u.outstanding;
+            }
+
+            if (!u.hasOp) {
+                if (!source.next(sm, u.op)) {
+                    u.drained = true;
+                    ++drainedCount;
+                    last_drain = now;
+                    continue;
+                }
+                u.hasOp = true;
+                u.pa = map.toLocal(u.op.addr);
+                if (u.op.computeInstrs > 0) {
+                    Cycle n = u.op.computeInstrs;
+                    Cycle avail = cap_end - now;
+                    u.instructions += std::min(n, avail);
+                    if (n < avail)
+                        calendar.push(now + n, sm);
+                    continue;
+                }
+            }
+
+            const mem::PartitionAddr pa = u.pa;
+
+            if (u.op.type == mem::AccessType::Read) {
+                if (u.outstanding >= currentWindow) {
+                    if (!u.inflight.empty() &&
+                        u.inflight.top() < epoch_lim) {
+                        // Delivered and earlier than anything still in
+                        // flight: the serial retry cycle.
+                        Cycle retry = u.inflight.top();
+                        u.windowStalls += retry - now;
+                        calendar.push(retry, sm);
+                    } else {
+                        parked.push_back({sm, now});
+                    }
+                    continue;
+                }
+                icnt.submit(makeTxn(u.op, pa, sm, now));
+                ++pendingTxns;
+                ++u.outstanding;
+            } else {
+                icnt.submit(makeTxn(u.op, pa, sm, now));
+                ++pendingTxns;
+            }
+            ++u.instructions;
+            u.hasOp = false;
+            if (now + 1 < cap_end)
+                calendar.push(now + 1, sm); // back-to-back issue
+        }
+
+        // Epoch barrier: every domain drains its inbox (on the pool's
+        // workers), then replies and the domain-private crossbar stats
+        // merge back in ascending domain order.
+        if (pendingTxns > 0) {
+            shardPool->runEpoch();
+            icnt.mergeShardStats();
+            icnt.forEachReply([&](const mem::TxnReply &r) {
+                sms[r.sm].inflight.push(r.complete);
+                max_completion = std::max(max_completion, r.complete);
+            });
+            pendingTxns = 0;
+        }
+        // Parked SMs now see every in-flight completion; resolve their
+        // retries exactly as the serial stall path would have.
+        for (const ParkedSm &pk : parked) {
+            SmUnit &u = sms[pk.sm];
+            Cycle retry =
+                u.inflight.empty() ? cap_end : u.inflight.top();
+            u.windowStalls += std::min(retry, cap_end) - pk.stallCycle;
+            if (retry < cap_end)
+                calendar.push(retry, pk.sm);
+        }
+        parked.clear();
+
+        if (!calendar.empty())
+            epoch_base = std::max(epoch_lim, calendar.minCycle());
+    }
+
+    // Identical tail to eventKernelLoop: wind the clock to where the
+    // reference loop would have stopped. The loop above only exits
+    // after a barrier with nothing pending, so max_completion covers
+    // every reply.
+    Cycle final_cycle;
+    bool cap_hit;
+    if (drainedCount == gpuConfig.numSms) {
+        Cycle done = std::max(last_drain, max_completion);
+        cap_hit = done >= cap_end;
+        final_cycle = cap_hit ? cap_end : done + 1;
+    } else {
+        cap_hit = true;
+        final_cycle = cap_end;
+    }
+    if (cap_hit)
+        ++statCycleCapHits;
+    for (auto &u : sms) {
+        u.inflight.clear();
+        u.outstanding = 0;
+    }
     currentCycle = final_cycle;
 
     std::uint64_t advanced = final_cycle - kernel_start;

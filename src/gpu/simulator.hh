@@ -25,6 +25,7 @@
 #include "gpu/params.hh"
 #include "gpu/interconnect.hh"
 #include "gpu/partition.hh"
+#include "gpu/shard_pool.hh"
 #include "mee/engine.hh"
 #include "mem/addr_map.hh"
 #include "meta/counters.hh"
@@ -103,6 +104,18 @@ class GpuSimulator : public mee::DramRouter
     /** Event-driven engine: jumps between SM ready cycles. */
     template <typename Source>
     void eventKernelLoop(Source &source, std::uint32_t window);
+    /**
+     * Sharded engine (`--shards N`, N > 1): the event engine split
+     * into fixed epochs. SM events inside an epoch enqueue
+     * transactions instead of calling the partitions; at the epoch
+     * barrier the ShardPool workers drain every domain and the
+     * replies come back before any SM could observe them (the epoch
+     * never exceeds the minimum SM->partition->SM round trip), so the
+     * event sequence — and every statistic — is bit-identical to
+     * eventKernelLoop (tests/test_shard_diff.cc).
+     */
+    template <typename Source>
+    void shardedKernelLoop(Source &source, std::uint32_t window);
     /** Per-cycle reference engine (the original loop); selected by
      *  GpuParams::referenceKernelLoop, kept as the differential-test
      *  oracle the event engine must match bit for bit. */
@@ -137,6 +150,25 @@ class GpuSimulator : public mee::DramRouter
     /** Ready-cycle calendar of SM events (event engine); sized for
      *  numSms ids in init(). */
     CalendarQueue calendar{1};
+
+    /** @{ Shard engine (built in init() when gpu.shards > 1 buys
+     *  anything; see the coupling discussion there). */
+    std::unique_ptr<ShardPool> shardPool;
+    std::uint32_t effectiveShards = 1;
+    /** Epoch length: the minimum SM->partition->SM feedback distance,
+     *  2 * (icntLatency + 1) + l2HitLatency. */
+    Cycle epochLength = 0;
+    /** An SM whose window-stall retry cycle is unknowable mid-epoch
+     *  (its earliest completion is still in flight); resolved at the
+     *  next barrier with the serial loop's exact stall accounting. */
+    struct ParkedSm
+    {
+        SmId sm;
+        Cycle stallCycle;
+    };
+    std::vector<ParkedSm> parked;
+    std::uint64_t pendingTxns = 0; //!< submitted since the last barrier
+    /** @} */
 
     Cycle currentCycle = 0;
     std::uint32_t currentWindow = 0; //!< per-kernel occupancy cap

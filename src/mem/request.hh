@@ -35,6 +35,40 @@ enum class TrafficClass : std::uint8_t
 const char *trafficClassName(TrafficClass c);
 
 /**
+ * One SM-side memory operation as an explicit message to a partition.
+ *
+ * The transaction layer decouples the SM loop from the synchronous
+ * `Partition::read/write` call path: instead of calling into the
+ * partition and getting a completion cycle back, the SM loop enqueues
+ * a Transaction into the owning domain's inbox ring and the partition
+ * (possibly on another worker thread) serves it later, posting a
+ * TxnReply for reads. Everything the partition needs to reproduce the
+ * synchronous call bit for bit travels in the message: the kind, the
+ * sector address in both address spaces, the memory space, the SM
+ * issue cycle (the `now` the interconnect request would have been
+ * given), and the reply slot (the requesting SM).
+ */
+struct Transaction
+{
+    Addr phys = 0;           //!< physical byte address of the sector
+    LocalAddr local = 0;     //!< partition-local sector address
+    Cycle issue = 0;         //!< SM-side issue cycle
+    PartitionId partition = 0;
+    SmId sm = 0;             //!< reply slot: the requesting SM
+    std::uint32_t bytes = 0; //!< payload bytes (reply size for reads)
+    AccessType type = AccessType::Read;
+    MemSpace space = MemSpace::Global;
+};
+
+/** Completion message for a read Transaction: the cycle the data
+ *  arrives back at the requesting SM. Writes are fire-and-forget. */
+struct TxnReply
+{
+    Cycle complete = 0;
+    SmId sm = 0;
+};
+
+/**
  * A memory request as seen below the L2: an L2 miss (read) or an L2
  * write-back, addressed by physical address before partition mapping.
  */

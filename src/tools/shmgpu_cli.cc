@@ -90,18 +90,20 @@ usage()
     std::puts("usage: shmgpu <list|run|sweep|trace|bench-self> [flags]\n"
               "  shmgpu list\n"
               "  shmgpu run (--workload NAME | --spec FILE) [--scheme SHM]"
-              " [--gpu turing|big|test] [--cycles N] [--overrides CFG]"
+              " [--gpu turing|big|test] [--cycles N] [--shards N]"
+              " [--overrides CFG]"
               " [--stats FILE] [--json FILE] [--accuracy] [--profile]"
               " [--reference-loop]\n"
               "  shmgpu sweep [--workloads a,b,c|all] [--schemes X,Y|all]"
               " [--jobs N] [--gpu turing|big|test] [--cycles N]"
-              " [--overrides CFG] [--out FILE] [--quiet]\n"
+              " [--shards N] [--overrides CFG] [--out FILE] [--quiet]\n"
               "  shmgpu trace record --workload NAME --out FILE"
               " [--sms N]\n"
               "  shmgpu trace run --in FILE [--scheme SHM] [--cycles N]\n"
               "  shmgpu trace info --in FILE\n"
               "  shmgpu bench-self [--quick] [--cycles N] [--reps N]"
-              " [--gpu turing|big|test] [--out BENCH_hotpath.json]"
+              " [--gpu turing|big|test] [--shards N]"
+              " [--out BENCH_hotpath.json]"
               " [--profile] [--reference-loop]");
     return 2;
 }
@@ -147,6 +149,12 @@ gpuParamsFrom(const Args &args)
     std::string cycles = args.get("cycles");
     if (!cycles.empty())
         gp.maxCyclesPerKernel = std::stoull(cycles);
+    // Worker threads per simulation (also gpu.shards override). Note
+    // a sweep runs --jobs x --shards threads: --jobs parallelizes
+    // across grid cells, --shards inside one simulation.
+    std::string shards = args.get("shards");
+    if (!shards.empty())
+        gp.shards = static_cast<std::uint32_t>(std::stoul(shards));
     // A/B escape hatch: drive the per-cycle reference engine instead
     // of the event-driven calendar (also gpu.reference_loop override).
     if (args.has("reference-loop"))
@@ -331,6 +339,9 @@ cmdBenchSelf(const Args &args)
 
     gpu::GpuParams gp = gpu::presetByName(args.get("gpu", "turing"));
     gp.maxCyclesPerKernel = cycles;
+    std::string shards = args.get("shards");
+    if (!shards.empty())
+        gp.shards = static_cast<std::uint32_t>(std::stoul(shards));
     if (args.has("reference-loop"))
         gp.referenceKernelLoop = true;
 
@@ -369,6 +380,7 @@ cmdBenchSelf(const Args &args)
     doc["benchmark"] = "bench-self";
     doc["gpu"] = args.get("gpu", "turing");
     doc["kernel_loop"] = gp.referenceKernelLoop ? "reference" : "event";
+    doc["shards"] = static_cast<std::uint64_t>(gp.shards);
     doc["max_cycles_per_kernel"] = cycles;
     doc["reps"] = static_cast<std::uint64_t>(reps);
     doc["cells"] = static_cast<std::uint64_t>(cells);

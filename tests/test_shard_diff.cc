@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Differential test of the sharded kernel engine against the serial
+ * event engine.
+ *
+ * `--shards N` claims bit-identical results for every N: the sharded
+ * engine (GpuSimulator::shardedKernelLoop) defers partition work to
+ * epoch barriers and fans it out over worker threads, and this test is
+ * the proof that nothing observable moves. It runs curated micros and
+ * randomized specs — every scheme (including the physically-addressed
+ * ones whose partitions couple into a single domain), every access
+ * pattern, cap-hitting budgets, and stall-heavy tiny windows — at
+ * shards 1, 2, and 4 and requires the full RunMetrics and the entire
+ * stats tree to match exactly. Unlike the event-vs-reference diff,
+ * cycles_skipped is compared too: both engines walk the same event
+ * sequence, so even the skip accounting must agree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/rng.hh"
+#include "gpu/presets.hh"
+#include "gpu/simulator.hh"
+#include "schemes/schemes.hh"
+#include "workload/benchmarks.hh"
+#include "workload/spec.hh"
+
+using namespace shmgpu;
+using namespace shmgpu::gpu;
+
+namespace
+{
+
+/** More SMs and partitions than testConfig so four shards get
+ *  distinct domains and the crossbar sees real contention. */
+GpuParams
+shardConfig()
+{
+    GpuParams gp = testConfig();
+    gp.numSms = 8;
+    gp.numPartitions = 6;
+    return gp;
+}
+
+struct EngineResult
+{
+    RunMetrics metrics;
+    std::string stats;
+};
+
+EngineResult
+runWithShards(std::uint32_t shards, const GpuParams &base,
+              const mee::MeeParams &mp, const workload::WorkloadSpec &w)
+{
+    GpuParams gp = base;
+    gp.shards = shards;
+    GpuSimulator sim(gp, mp, w);
+    EngineResult r;
+    r.metrics = sim.run();
+    std::ostringstream os;
+    sim.statsRoot().dump(os);
+    r.stats = os.str();
+    return r;
+}
+
+/** Require shards 2 and 4 to reproduce the serial run exactly. */
+void
+expectIdentical(const GpuParams &gp, const mee::MeeParams &mp,
+                const workload::WorkloadSpec &w, const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EngineResult serial = runWithShards(1, gp, mp, w);
+    for (std::uint32_t shards : {2u, 4u}) {
+        EngineResult sharded = runWithShards(shards, gp, mp, w);
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+
+        EXPECT_EQ(sharded.metrics.cycles, serial.metrics.cycles);
+        EXPECT_EQ(sharded.metrics.instructions,
+                  serial.metrics.instructions);
+        EXPECT_EQ(sharded.metrics.ipc, serial.metrics.ipc);
+        EXPECT_EQ(sharded.metrics.bytesData, serial.metrics.bytesData);
+        EXPECT_EQ(sharded.metrics.bytesCounter,
+                  serial.metrics.bytesCounter);
+        EXPECT_EQ(sharded.metrics.bytesMac, serial.metrics.bytesMac);
+        EXPECT_EQ(sharded.metrics.bytesBmt, serial.metrics.bytesBmt);
+        EXPECT_EQ(sharded.metrics.bytesExtra, serial.metrics.bytesExtra);
+        EXPECT_EQ(sharded.metrics.bandwidthUtilization,
+                  serial.metrics.bandwidthUtilization);
+        EXPECT_EQ(sharded.metrics.l2MissRate, serial.metrics.l2MissRate);
+        EXPECT_EQ(sharded.metrics.sharedCtrReads,
+                  serial.metrics.sharedCtrReads);
+        EXPECT_EQ(sharded.metrics.commonCtrHits,
+                  serial.metrics.commonCtrHits);
+        EXPECT_EQ(sharded.metrics.roTransitions,
+                  serial.metrics.roTransitions);
+        EXPECT_EQ(sharded.metrics.chunkMacAccesses,
+                  serial.metrics.chunkMacAccesses);
+        EXPECT_EQ(sharded.metrics.blockMacAccesses,
+                  serial.metrics.blockMacAccesses);
+        EXPECT_EQ(sharded.metrics.dualMacFallbacks,
+                  serial.metrics.dualMacFallbacks);
+        EXPECT_EQ(sharded.metrics.victimHits, serial.metrics.victimHits);
+        EXPECT_EQ(sharded.metrics.victimInserts,
+                  serial.metrics.victimInserts);
+        EXPECT_EQ(sharded.stats, serial.stats);
+    }
+}
+
+/** Same generator shape as test_kernel_loop_diff: every pattern,
+ *  compute ratios 0..8, stall-heavy windows, read-only pre-copies. */
+workload::WorkloadSpec
+randomSpec(Rng &rng, unsigned idx)
+{
+    workload::WorkloadSpec w;
+    w.name = "shard_rand_" + std::to_string(idx);
+    w.suite = "diff";
+    w.seed = rng.next();
+
+    std::uint32_t nbufs = 1 + static_cast<std::uint32_t>(rng.below(3));
+    for (std::uint32_t b = 0; b < nbufs; ++b) {
+        workload::BufferSpec buf;
+        buf.name = "b" + std::to_string(b);
+        buf.bytes = (64 + rng.below(192)) << 10; // 64 KiB .. 256 KiB
+        w.buffers.push_back(buf);
+    }
+
+    static constexpr workload::Pattern patterns[] = {
+        workload::Pattern::Streaming, workload::Pattern::Random,
+        workload::Pattern::RandomHot, workload::Pattern::Strided};
+    static constexpr std::uint32_t windows[] = {0, 1, 2, 8};
+
+    std::uint32_t nkernels = 1 + static_cast<std::uint32_t>(rng.below(2));
+    for (std::uint32_t k = 0; k < nkernels; ++k) {
+        workload::KernelSpec ks;
+        ks.name = "k" + std::to_string(k);
+        ks.iterationsPerSm = 32 + rng.below(224);
+        ks.computePerMem = static_cast<std::uint32_t>(rng.below(9));
+        ks.maxOutstanding = windows[rng.below(4)];
+        std::uint32_t nstreams =
+            1 + static_cast<std::uint32_t>(rng.below(3));
+        for (std::uint32_t s = 0; s < nstreams; ++s) {
+            workload::StreamSpec ss;
+            ss.buffer = static_cast<std::uint32_t>(rng.below(nbufs));
+            ss.pattern = patterns[rng.below(4)];
+            ss.write = rng.below(10) < 3;
+            ss.prob = 0.5 + 0.5 * static_cast<double>(rng.below(2));
+            ks.streams.push_back(ss);
+        }
+        if (k == 0) {
+            for (std::uint32_t b = 0; b < nbufs; ++b) {
+                workload::HostCopySpec hc;
+                hc.buffer = b;
+                hc.marksReadOnly = rng.below(4) != 0;
+                hc.declaredReadOnly = rng.below(4) == 0;
+                ks.preCopies.push_back(hc);
+            }
+        }
+        w.kernels.push_back(ks);
+    }
+    return w;
+}
+
+} // namespace
+
+TEST(ShardDiff, CuratedMicrosUnderAllSchemes)
+{
+    // Covers both domain regimes: local-metadata schemes shard one
+    // domain per partition; Naive/Common_ctr couple into a single
+    // domain and must fall back to the serial engine, still identical.
+    GpuParams gp = shardConfig();
+    for (const auto &w :
+         {workload::makeStreamingMicro(1 << 20, 256),
+          workload::makeMixedMicro(), workload::makeMultiKernelMicro()}) {
+        for (auto s : schemes::allSchemes())
+            expectIdentical(gp, schemes::makeMeeParams(s), w,
+                            w.name + " / " + schemes::schemeName(s));
+    }
+}
+
+TEST(ShardDiff, RandomizedSpecs)
+{
+    GpuParams gp = shardConfig();
+    Rng rng(0x5AADu);
+    const auto &schemes_all = schemes::allSchemes();
+    for (unsigned i = 0; i < 12; ++i) {
+        auto w = randomSpec(rng, i);
+        auto s = schemes_all[i % schemes_all.size()];
+        expectIdentical(gp, schemes::makeMeeParams(s), w,
+                        w.name + " / " + schemes::schemeName(s));
+    }
+}
+
+TEST(ShardDiff, CapHittingKernels)
+{
+    // Caps inside (and far inside) a single epoch: frozen stalls,
+    // abandoned in-flight loads, and clamped compute batches must
+    // resolve identically when the barrier does the stall accounting.
+    GpuParams gp = shardConfig();
+    Rng rng(0xCAB5u);
+    for (Cycle cap : {1u, 7u, 100u, 1000u}) {
+        gp.maxCyclesPerKernel = cap;
+        for (unsigned i = 0; i < 4; ++i) {
+            auto w = randomSpec(rng, 100 + i);
+            auto s = schemes::allSchemes()[i %
+                                           schemes::allSchemes().size()];
+            expectIdentical(gp, schemes::makeMeeParams(s), w,
+                            "cap=" + std::to_string(cap) + " " + w.name +
+                                " / " + schemes::schemeName(s));
+        }
+    }
+}
+
+TEST(ShardDiff, OneLoadWindowParksEverySm)
+{
+    // window=1 makes every second read stall with its only in-flight
+    // completion undelivered — the heaviest use of the park/unpark
+    // path — and the per-cycle stall counts must still match.
+    GpuParams gp = shardConfig();
+    gp.smWindow = 4;
+    gp.maxCyclesPerKernel = 2000;
+    auto w = workload::makeStreamingMicro(1 << 20, 128);
+    for (auto &k : w.kernels)
+        k.maxOutstanding = 1;
+    expectIdentical(gp, schemes::makeMeeParams(schemes::Scheme::Shm), w,
+                    "window=1 streaming");
+}
+
+TEST(ShardDiff, ShardCountAboveDomainsClamps)
+{
+    // More shards than partitions (and than domains) must clamp, not
+    // crash, and still reproduce the serial run.
+    GpuParams gp = shardConfig();
+    auto w = workload::makeStreamingMicro(1 << 20, 128);
+    auto mp = schemes::makeMeeParams(schemes::Scheme::Pssm);
+    EngineResult serial = runWithShards(1, gp, mp, w);
+    EngineResult wide = runWithShards(64, gp, mp, w);
+    EXPECT_EQ(wide.metrics.cycles, serial.metrics.cycles);
+    EXPECT_EQ(wide.stats, serial.stats);
+}
