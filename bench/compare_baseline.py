@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
 """Compare a fresh bench-self result against the committed baseline.
 
-Usage: compare_baseline.py FRESH.json BASELINE.json [--threshold 0.10]
+Usage: compare_baseline.py FRESH.json BASELINE.json
+           [--threshold 0.10] [--strict]
 
 Prints a GitHub Actions ::warning:: (and exits 0 — tracking, not
 gating) when the fresh best_cells_per_second falls more than the
-threshold below the baseline. The comparison is skipped with a notice
-when the two files measured different configurations (cycle cap, grid
-size, or engine), since those numbers are not comparable.
+threshold below the baseline. With --strict the shortfall exits 1
+instead: use that only for same-machine A/B comparisons (two builds
+benched back to back on one host), where the noise a cross-machine
+comparison has to tolerate does not apply. The comparison is skipped
+with a notice when the two files measured different configurations
+(cycle cap, grid size, or engine), since those numbers are not
+comparable.
 """
 
 import argparse
@@ -34,6 +39,10 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="warn when fresh < (1-threshold) * baseline")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 (instead of warning) on a "
+                             "shortfall beyond the threshold; for "
+                             "same-machine A/B comparisons")
     args = parser.parse_args()
 
     fresh = load(args.fresh)
@@ -56,6 +65,10 @@ def main():
     line = (f"bench-self: {fresh_cps:.2f} cells/s vs committed baseline "
             f"{base_cps:.2f} ({ratio:.2%})")
     if ratio < 1.0 - args.threshold:
+        if args.strict:
+            print(f"::error::{line} — regression beyond "
+                  f"{args.threshold:.0%} on a same-machine A/B")
+            return 1
         print(f"::warning::{line} — possible hot-path regression "
               f"(>{args.threshold:.0%} below baseline; non-gating, CI "
               "machines are noisy)")

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Low-overhead structured event tracer — the simulator's flight
+ * recorder.
+ *
+ * Components that can emit events hold a `Tracer *` that is null when
+ * tracing is off, so the fast path is one predictable branch and the
+ * instrumented build costs nothing in normal runs. When tracing is on,
+ * each emission is a class-mask test plus a push into a per-lane
+ * SPSC ring (common/spsc_ring.hh): one lane per memory partition plus
+ * one lane for the SM scheduler, so the sharded engine's workers and
+ * the simulation thread never contend on a shared buffer.
+ *
+ * Lane ownership mirrors the shard engine's threading contract:
+ *  - the SM lane's producer is always the simulation thread;
+ *  - a partition lane's producer is the simulation thread in serial
+ *    runs, or the one worker that owns the partition's domain in
+ *    sharded runs. Producers alternate between epochs (worker) and
+ *    kernel boundaries (simulation thread); the ShardPool barrier's
+ *    release/acquire edges order the handoff.
+ *
+ * Overflow policy: a lane whose producer is the simulation thread
+ * itself ("non-shared") drains inline when full, so serial runs never
+ * lose events. A lane owned by a worker ("shared") cannot drain — the
+ * consumer is another thread — so overflowing events are counted and
+ * dropped; the drop count is reported in every export. Rings are
+ * drained at epoch barriers and at end of run.
+ *
+ * Export: lane-major concatenation followed by a stable sort on cycle.
+ * Per-lane sequences are identical across --shards values (FIFO rings
+ * replay the serial service order), so the exported stream is
+ * bit-identical for every shard count — except the Engine class
+ * (calendar skips, epoch barriers), which describes the engine itself
+ * and legitimately differs between kernel loops.
+ */
+
+#ifndef SHMGPU_COMMON_TRACE_HH
+#define SHMGPU_COMMON_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/spsc_ring.hh"
+#include "common/types.hh"
+
+namespace shmgpu::trace
+{
+
+/** What happened. Keep kindName() and classOf() in sync. */
+enum class EventKind : std::uint8_t
+{
+    KernelBegin,    //!< Sm: kernel dispatch (payload = kernel index)
+    KernelEnd,      //!< Sm: kernel retired (payload = kernel index)
+    SmIssue,        //!< Sm: memory op issued (payload = addr|is_write<<63)
+    SmRetire,       //!< Sm: instruction batch retired (payload = count)
+    TxnEnqueue,     //!< Txn: transaction entered the interconnect
+    TxnDequeue,     //!< Txn: transaction began service at its partition
+    CalendarSkip,   //!< Engine: idle cycles skipped (payload = count)
+    EpochBarrier,   //!< Engine: sharded epoch barrier (payload = in-flight)
+    L2Hit,          //!< L2: data access hit (payload = local addr)
+    L2Miss,         //!< L2: data access missed (payload = local addr)
+    VictimFill,     //!< L2: line installed in the victim cache
+    CtrFetch,       //!< Mee: counter block fetched (payload = meta addr)
+    MacFetch,       //!< Mee: MAC block fetched (payload = meta addr)
+    BmtFetch,       //!< Mee: BMT node fetched (payload = meta addr)
+    ExtraFetch,     //!< Mee: misprediction extra fetch (payload = meta addr)
+    VictimHit,      //!< Mee: metadata served by the victim cache
+    RoTransition,   //!< Detect: read-only region first written
+    StreamClassify, //!< Detect: monitoring phase classified a chunk
+    TrackerTimeout, //!< Detect: monitoring phase timed out
+    NumKinds
+};
+
+/** Filterable event families (one bit each in TraceParams::classMask). */
+enum class EventClass : std::uint8_t
+{
+    Sm,     //!< SM issue/retire and kernel boundaries
+    Txn,    //!< interconnect transactions
+    Engine, //!< engine internals: calendar skips, epoch barriers
+    L2,     //!< L2 data-side hits/misses/victim fills
+    Mee,    //!< MEE metadata traffic
+    Detect, //!< detector transitions
+    NumClasses
+};
+
+constexpr std::uint32_t
+classBit(EventClass c)
+{
+    return std::uint32_t{1} << static_cast<unsigned>(c);
+}
+
+constexpr std::uint32_t allClassesMask =
+    (std::uint32_t{1} << static_cast<unsigned>(EventClass::NumClasses)) - 1;
+
+constexpr EventClass
+classOf(EventKind kind)
+{
+    constexpr std::array<EventClass,
+                         static_cast<std::size_t>(EventKind::NumKinds)>
+        table{
+            EventClass::Sm,     // KernelBegin
+            EventClass::Sm,     // KernelEnd
+            EventClass::Sm,     // SmIssue
+            EventClass::Sm,     // SmRetire
+            EventClass::Txn,    // TxnEnqueue
+            EventClass::Txn,    // TxnDequeue
+            EventClass::Engine, // CalendarSkip
+            EventClass::Engine, // EpochBarrier
+            EventClass::L2,     // L2Hit
+            EventClass::L2,     // L2Miss
+            EventClass::L2,     // VictimFill
+            EventClass::Mee,    // CtrFetch
+            EventClass::Mee,    // MacFetch
+            EventClass::Mee,    // BmtFetch
+            EventClass::Mee,    // ExtraFetch
+            EventClass::Mee,    // VictimHit
+            EventClass::Detect, // RoTransition
+            EventClass::Detect, // StreamClassify
+            EventClass::Detect, // TrackerTimeout
+        };
+    return table[static_cast<std::size_t>(kind)];
+}
+
+const char *kindName(EventKind kind);
+const char *className(EventClass cls);
+
+/**
+ * Parse a comma-separated class list ("sm,l2,detect", or "all") into
+ * a class mask. Fatal on an unknown class name (user configuration
+ * error).
+ */
+std::uint32_t parseClassMask(const std::string &csv);
+
+/** One recorded event. Compact: 24 bytes. */
+struct Event
+{
+    Cycle cycle = 0;
+    std::uint64_t payload = 0;
+    std::uint16_t component = 0; //!< SM id or partition id
+    EventKind kind = EventKind::KernelBegin;
+};
+
+/** User-facing tracer configuration (trace.* config keys). */
+struct TraceParams
+{
+    std::uint32_t classMask = allClassesMask;
+    std::size_t ringCapacity = std::size_t{1} << 16;
+};
+
+/** A multi-lane event recorder. See the file comment for the
+ *  threading contract. */
+class Tracer
+{
+  public:
+    Tracer(std::uint32_t num_lanes, const TraceParams &params);
+
+    std::uint32_t numLanes() const
+    {
+        return static_cast<std::uint32_t>(lanes.size());
+    }
+
+    const TraceParams &params() const { return config; }
+
+    /**
+     * Mark @p lane as produced by a thread other than the one that
+     * drains (sharded workers): overflow drops instead of draining
+     * inline. Call before the producers start.
+     */
+    void setLaneShared(std::uint32_t lane, bool shared);
+
+    /** Display name for the exported thread metadata. */
+    void setLaneName(std::uint32_t lane, std::string name);
+
+    /**
+     * Record one event on @p lane. Producer-side; safe from the lane's
+     * single current producer only.
+     */
+    void
+    record(std::uint32_t lane, EventKind kind, Cycle cycle,
+           std::uint16_t component, std::uint64_t payload)
+    {
+        if (!(config.classMask & classBit(classOf(kind))))
+            return;
+        Lane &l = lanes[lane];
+        const Event e{cycle, payload, component, kind};
+        if (l.ring->tryPush(e))
+            return;
+        if (l.shared) {
+            // Consumer is another thread: count the loss, keep going.
+            ++l.dropped;
+            return;
+        }
+        // Producer == consumer: make room and retry (cannot fail).
+        drainLane(l);
+        l.ring->tryPush(e);
+    }
+
+    /**
+     * Move every ring's contents into lane storage. Consumer-side;
+     * call only when all producers are quiescent (epoch barrier, end
+     * of run).
+     */
+    void drainAll();
+
+    /** Events accumulated so far (drains first). */
+    std::uint64_t totalRecorded();
+
+    /** Events lost to shared-lane ring overflow. */
+    std::uint64_t totalDropped() const;
+
+    /** Per-lane drop count (for tests and the export trailer). */
+    std::uint64_t droppedOn(std::uint32_t lane) const
+    {
+        return lanes[lane].dropped;
+    }
+
+    /**
+     * All events, lane-major then stable-sorted by cycle — the
+     * deterministic export order. Drains first.
+     */
+    std::vector<Event> collectSorted();
+
+    /** Chrome trace_event JSON (chrome://tracing / Perfetto). */
+    void writeChromeJson(std::ostream &os);
+
+    /** Deterministic line-per-event text dump. */
+    void writeText(std::ostream &os);
+
+  private:
+    struct Lane
+    {
+        std::unique_ptr<SpscRing<Event>> ring;
+        std::vector<Event> events;
+        std::uint64_t dropped = 0;
+        bool shared = false;
+        std::string name;
+    };
+
+    void drainLane(Lane &lane);
+
+    TraceParams config;
+    std::vector<Lane> lanes;
+};
+
+} // namespace shmgpu::trace
+
+#endif // SHMGPU_COMMON_TRACE_HH

@@ -1,6 +1,8 @@
 #include "core/experiment.hh"
 
 #include <cmath>
+#include <fstream>
+#include <optional>
 
 #include "common/logging.hh"
 #include "detect/oracle.hh"
@@ -97,7 +99,34 @@ Experiment::run(schemes::Scheme scheme,
         sim.primeFromProfile(*profile);
     if (profile)
         sim.attributeAgainst(&*profile);
+
+    std::string trace_path = options.tracePath;
+    if (trace_path.empty() && !options.traceDir.empty())
+        trace_path = options.traceDir + "/" + result.workload + "_" +
+                     result.scheme + ".trace.json";
+    std::optional<trace::Tracer> tracer;
+    if (!trace_path.empty() || !options.traceTextPath.empty()) {
+        tracer.emplace(gpuParams().numPartitions + 1,
+                       options.traceParams);
+        sim.attachTracer(&*tracer);
+    }
+
     result.metrics = sim.run();
+
+    if (tracer && !trace_path.empty()) {
+        std::ofstream os(trace_path, std::ios::binary);
+        if (!os)
+            shm_fatal("cannot open trace file '{}' for writing",
+                      trace_path);
+        tracer->writeChromeJson(os);
+    }
+    if (tracer && !options.traceTextPath.empty()) {
+        std::ofstream os(options.traceTextPath, std::ios::binary);
+        if (!os)
+            shm_fatal("cannot open trace file '{}' for writing",
+                      options.traceTextPath);
+        tracer->writeText(os);
+    }
 
     result.normalizedIpc =
         result.baseline.ipc > 0 ? result.metrics.ipc / result.baseline.ipc

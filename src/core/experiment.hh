@@ -26,6 +26,7 @@
 #include <optional>
 #include <string>
 
+#include "common/trace.hh"
 #include "gpu/energy.hh"
 #include "gpu/metrics.hh"
 #include "gpu/params.hh"
@@ -44,6 +45,30 @@ struct RunOptions
      * Implied for SHM_upper_bound.
      */
     bool collectAccuracy = false;
+
+    /**
+     * When non-empty, attach a tracer to the measured simulation
+     * (never the profile or baseline passes) and export a Chrome
+     * trace_event JSON file to this path.
+     */
+    std::string tracePath;
+
+    /**
+     * When non-empty, export one trace per cell to
+     * <traceDir>/<workload>_<scheme>.trace.json. Used by the sweep
+     * runner, where a single tracePath would be overwritten by every
+     * grid cell.
+     */
+    std::string traceDir;
+
+    /**
+     * When non-empty, also export the deterministic line-per-event
+     * text dump to this path (diff-friendly A/B format).
+     */
+    std::string traceTextPath;
+
+    /** Tracer configuration (event-class filter, ring capacity). */
+    trace::TraceParams traceParams;
 };
 
 /** One (scheme, workload) result, normalized to the baseline. */

@@ -76,12 +76,24 @@ applyMeeOverrides(Config &config, mee::MeeParams &p)
 }
 
 void
+applyTraceOverrides(Config &config, trace::TraceParams &p)
+{
+    std::string classes = config.getString("trace.classes", "");
+    if (!classes.empty())
+        p.classMask = trace::parseClassMask(classes);
+    p.ringCapacity = static_cast<std::size_t>(
+        config.getU64("trace.ring_capacity", p.ringCapacity));
+}
+
+void
 applyOverridesFile(const std::string &path, gpu::GpuParams &gpu,
                    mee::MeeParams &mee)
 {
     Config config = Config::fromFile(path);
     applyGpuOverrides(config, gpu);
     applyMeeOverrides(config, mee);
+    trace::TraceParams scratch;
+    applyTraceOverrides(config, scratch);
     config.assertConsumed();
 }
 

@@ -23,6 +23,7 @@
 #define SHMGPU_CORE_OVERRIDES_HH
 
 #include "common/config.hh"
+#include "common/trace.hh"
 #include "gpu/params.hh"
 #include "mee/engine.hh"
 
@@ -34,6 +35,13 @@ void applyGpuOverrides(Config &config, gpu::GpuParams &params);
 
 /** Apply "mee.*" keys to @p params. */
 void applyMeeOverrides(Config &config, mee::MeeParams &params);
+
+/**
+ * Apply "trace.*" keys to @p params:
+ *   trace.classes       = sm,txn,engine,l2,mee,detect (or "all")
+ *   trace.ring_capacity = 65536
+ */
+void applyTraceOverrides(Config &config, trace::TraceParams &params);
 
 /**
  * Apply everything from a file to both parameter sets and fail on

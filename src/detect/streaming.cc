@@ -46,7 +46,7 @@ StreamingDetector::confirmedStreaming(LocalAddr addr, Cycle now) const
 
 void
 StreamingDetector::finalize(Tracker &t, std::vector<DetectionEvent> &events,
-                            Cycle now, bool full_coverage_exit)
+                            Cycle now, PhaseExit exit)
 {
     // All blocks touched => streaming; any untouched block => random.
     std::uint64_t full = (blocksPerChunk() >= 64)
@@ -60,10 +60,10 @@ StreamingDetector::finalize(Tracker &t, std::vector<DetectionEvent> &events,
     e.lastUpdater = t.chunk;
 
     events.push_back({t.chunk, streaming, t.predictedStreaming,
-                      t.writeFlag, t.accessMask});
+                      t.writeFlag, t.accessMask, exit});
     t.valid = false;
 
-    if (full_coverage_exit && !cooldown.empty()) {
+    if (exit == PhaseExit::Coverage && !cooldown.empty()) {
         // Remember the chunk briefly so straggling sector accesses do
         // not start a junk monitoring phase.
         cooldown[cooldownNext] = {t.chunk, now + config.cooldownCycles};
@@ -108,7 +108,7 @@ StreamingDetector::allocTracker(Cycle now,
     // No free tracker: reclaim one that has timed out, if any.
     for (auto &t : trackers) {
         if (now >= t.started + config.timeoutCycles) {
-            finalize(t, events, now, false);
+            finalize(t, events, now, PhaseExit::Timeout);
             return &t;
         }
     }
@@ -123,7 +123,7 @@ StreamingDetector::access(LocalAddr addr, bool is_write, Cycle now,
     for (auto &t : trackers) {
         if (t.valid && now >= t.started + config.timeoutCycles) {
             ++statTimeoutExits;
-            finalize(t, events, now, false);
+            finalize(t, events, now, PhaseExit::Timeout);
         }
     }
 
@@ -179,12 +179,12 @@ StreamingDetector::access(LocalAddr addr, bool is_write, Cycle now,
         // Every block was touched: finalize early as streaming and
         // absorb the stragglers.
         ++statCoverageExits;
-        finalize(*t, events, now, true);
+        finalize(*t, events, now, PhaseExit::Coverage);
     } else if (t->accesses >=
                config.monitorAccesses * sectors_per_block) {
         // The access budget ran out with gaps left: random.
         ++statBudgetExits;
-        finalize(*t, events, now, false);
+        finalize(*t, events, now, PhaseExit::Budget);
     }
 }
 
@@ -193,7 +193,7 @@ StreamingDetector::finalizeAll(Cycle now, std::vector<DetectionEvent> &events)
 {
     for (auto &t : trackers)
         if (t.valid)
-            finalize(t, events, now, false);
+            finalize(t, events, now, PhaseExit::Timeout);
 }
 
 void

@@ -73,6 +73,14 @@ struct StreamingDetectorParams
     std::uint32_t randomMonitorLimit = 2;
 };
 
+/** Why a monitoring phase ended. */
+enum class PhaseExit : std::uint8_t
+{
+    Coverage, //!< every block touched: early streaming verdict
+    Budget,   //!< access budget exhausted with gaps: random
+    Timeout   //!< phase timed out (or was flushed/reclaimed)
+};
+
 /** Outcome of a completed monitoring phase. */
 struct DetectionEvent
 {
@@ -81,6 +89,7 @@ struct DetectionEvent
     bool predictedStreaming = false; //!< bit-vector value when phase began
     bool sawWrite = false;      //!< write flag accumulated in the MAT
     std::uint64_t accessMask = 0; //!< blocks touched during the phase
+    PhaseExit exit = PhaseExit::Timeout; //!< how the phase ended
 };
 
 /** Per-partition streaming-accessed chunk detector. */
@@ -178,7 +187,7 @@ class StreamingDetector
     }
 
     void finalize(Tracker &t, std::vector<DetectionEvent> &events,
-                  Cycle now, bool full_coverage_exit);
+                  Cycle now, PhaseExit exit);
     Tracker *findTracker(std::uint64_t chunk);
     Tracker *allocTracker(Cycle now, std::vector<DetectionEvent> &events);
     bool inCooldown(std::uint64_t chunk, Cycle now) const;

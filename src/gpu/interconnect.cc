@@ -49,13 +49,27 @@ Interconnect::reply(PartitionId partition, std::uint32_t bytes, Cycle now)
 Cycle
 Interconnect::serveNow(const mem::Transaction &t, Partition &part)
 {
+    // Mirror the sharded path's emission points (submit/drainDomain)
+    // so the Txn event stream is identical for every --shards value.
+    if (tracer)
+        tracer->record(smLane, trace::EventKind::TxnEnqueue, t.issue,
+                       static_cast<std::uint16_t>(t.sm), txnPayload(t));
     if (t.type == mem::AccessType::Read) {
         Cycle arrive = request(t.partition, config.requestBytes, t.issue);
+        if (tracer)
+            tracer->record(t.partition, trace::EventKind::TxnDequeue,
+                           arrive,
+                           static_cast<std::uint16_t>(t.partition),
+                           txnPayload(t));
         Cycle ready = part.serve(t, arrive);
         return reply(t.partition, t.bytes, ready);
     }
     Cycle arrive =
         request(t.partition, config.requestBytes + t.bytes, t.issue);
+    if (tracer)
+        tracer->record(t.partition, trace::EventKind::TxnDequeue, arrive,
+                       static_cast<std::uint16_t>(t.partition),
+                       txnPayload(t));
     part.serve(t, arrive);
     return arrive;
 }
@@ -98,6 +112,11 @@ Interconnect::drainDomain(std::uint32_t domain)
             dom.requestBytes += config.requestBytes;
             Cycle arrive = traverse(toPartition[t.partition],
                                     config.requestBytes, t.issue);
+            if (tracer)
+                tracer->record(t.partition, trace::EventKind::TxnDequeue,
+                               arrive,
+                               static_cast<std::uint16_t>(t.partition),
+                               txnPayload(t));
             Cycle ready = part.serve(t, arrive);
             // Mirrors reply().
             ++dom.replies;
@@ -112,6 +131,11 @@ Interconnect::drainDomain(std::uint32_t domain)
             dom.requestBytes += bytes;
             Cycle arrive =
                 traverse(toPartition[t.partition], bytes, t.issue);
+            if (tracer)
+                tracer->record(t.partition, trace::EventKind::TxnDequeue,
+                               arrive,
+                               static_cast<std::uint16_t>(t.partition),
+                               txnPayload(t));
             part.serve(t, arrive);
         }
     }

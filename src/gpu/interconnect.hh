@@ -43,6 +43,7 @@
 #include "common/logging.hh"
 #include "common/spsc_ring.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "mem/request.hh"
 
@@ -103,10 +104,27 @@ class Interconnect
                                std::uint32_t num_domains,
                                std::size_t ring_capacity);
 
+    /**
+     * Attach the flight recorder. TxnEnqueue lands on @p sm_lane (the
+     * SM thread emits it); TxnDequeue lands on the serving partition's
+     * lane (emitted by whichever thread runs the service — the SM
+     * thread via serveNow, or the domain's worker via drainDomain).
+     */
+    void
+    setTracer(trace::Tracer *t, std::uint32_t sm_lane)
+    {
+        tracer = t;
+        smLane = sm_lane;
+    }
+
     /** Enqueue @p t into its owning domain's inbox (SM thread only). */
     void
     submit(const mem::Transaction &t)
     {
+        if (tracer)
+            tracer->record(smLane, trace::EventKind::TxnEnqueue, t.issue,
+                           static_cast<std::uint16_t>(t.sm),
+                           txnPayload(t));
         DomainState &dom = *domains[domainOfPartition[t.partition]];
         bool ok = dom.inbox.tryPush(t);
         shm_assert(ok, "domain {} inbox overflow ({} slots) — ring "
@@ -186,6 +204,15 @@ class Interconnect
 
     Cycle traverse(Link &link, std::uint32_t bytes, Cycle now);
 
+    static std::uint64_t
+    txnPayload(const mem::Transaction &t)
+    {
+        return t.phys |
+               (t.type == mem::AccessType::Write
+                    ? std::uint64_t{1} << 63
+                    : 0);
+    }
+
     InterconnectParams config;
     std::vector<Link> toPartition;
     std::vector<Link> toSm;
@@ -195,6 +222,9 @@ class Interconnect
     std::vector<Partition *> partitions;       //!< by partition id
     std::vector<std::uint32_t> domainOfPartition;
     /** @} */
+
+    trace::Tracer *tracer = nullptr;
+    std::uint32_t smLane = 0;
 
     stats::StatGroup statGroup;
     stats::Scalar statRequests;

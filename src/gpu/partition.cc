@@ -72,6 +72,12 @@ Partition::read(LocalAddr local, Addr phys, Cycle now, MemSpace space)
 {
     L2Bank &b = *banks[bankOf(local)];
     L2AccessResult res = b.accessData(local, false);
+    if (tracer)
+        tracer->record(partitionId,
+                       res.hit ? trace::EventKind::L2Hit
+                               : trace::EventKind::L2Miss,
+                       now, static_cast<std::uint16_t>(partitionId),
+                       local);
 
     Cycle ready;
     if (res.hit) {
@@ -114,6 +120,12 @@ Partition::write(LocalAddr local, Addr phys, Cycle now, MemSpace space)
     (void)space;
     L2Bank &b = *banks[bankOf(local)];
     L2AccessResult res = b.accessData(local, true);
+    if (tracer)
+        tracer->record(partitionId,
+                       res.hit ? trace::EventKind::L2Hit
+                               : trace::EventKind::L2Miss,
+                       now, static_cast<std::uint16_t>(partitionId),
+                       local);
     handleWriteback(res.writeback, now);
 }
 
@@ -167,6 +179,9 @@ Partition::victimInsert(Addr meta_addr, std::uint32_t valid_mask,
                         Cycle now)
 {
     (void)cls;
+    if (tracer)
+        tracer->record(partitionId, trace::EventKind::VictimFill, now,
+                       static_cast<std::uint16_t>(partitionId), meta_addr);
     mem::Writeback wb =
         banks[bankOf(meta_addr)]->insertVictim(meta_addr, valid_mask,
                                                dirty_mask);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "detect/oracle.hh"
 #include "gpu/l2bank.hh"
@@ -91,6 +92,15 @@ class Partition : public mee::VictimCacheIf
 
     void regStats(stats::StatGroup *parent);
 
+    /** Attach the flight recorder; this partition emits on its own
+     *  lane (lane id == partition id), as does its MEE. */
+    void
+    setTracer(trace::Tracer *t)
+    {
+        tracer = t;
+        engine.setTracer(t);
+    }
+
   private:
     /** Banks interleave on 128 B sub-lines; the bank count is asserted
      *  to be a power of two, so selection is a shift and a mask (same
@@ -115,6 +125,7 @@ class Partition : public mee::VictimCacheIf
     std::vector<std::unique_ptr<L2Bank>> banks;
     mee::MeeEngine engine;
     detect::AccessProfile *collector = nullptr;
+    trace::Tracer *tracer = nullptr;
 
     stats::StatGroup statGroup;
     stats::Scalar statReadMissLatency;

@@ -183,6 +183,29 @@ GpuSimulator::init()
 GpuSimulator::~GpuSimulator() = default;
 
 void
+GpuSimulator::attachTracer(trace::Tracer *t)
+{
+    tracer = t;
+    smLane = gpuConfig.numPartitions;
+    if (tracer) {
+        shm_assert(tracer->numLanes() == gpuConfig.numPartitions + 1,
+                   "tracer has {} lanes, simulator needs {} (one per "
+                   "partition plus the SM scheduler lane)",
+                   tracer->numLanes(), gpuConfig.numPartitions + 1);
+        for (PartitionId p = 0; p < gpuConfig.numPartitions; ++p) {
+            tracer->setLaneName(p, "partition " + std::to_string(p));
+            // The sharded engine's workers produce on partition lanes;
+            // the sim thread drains them at epoch barriers only.
+            tracer->setLaneShared(p, effectiveShards > 1);
+        }
+        tracer->setLaneName(smLane, "sm scheduler");
+    }
+    icnt.setTracer(tracer, smLane);
+    for (auto &p : partitions)
+        p->setTracer(tracer);
+}
+
+void
 GpuSimulator::collectProfile(detect::AccessProfile *profile)
 {
     collector = profile;
@@ -285,6 +308,12 @@ template <typename Source>
 void
 GpuSimulator::runKernelLoop(Source &source, std::uint32_t window)
 {
+    const std::uint64_t kernel_idx =
+        static_cast<std::uint64_t>(statKernelsRun.value());
+    if (tracer)
+        tracer->record(smLane, trace::EventKind::KernelBegin,
+                       currentCycle, 0, kernel_idx);
+
     if (gpuConfig.referenceKernelLoop)
         referenceKernelLoop(source, window);
     else if (effectiveShards > 1)
@@ -295,6 +324,12 @@ GpuSimulator::runKernelLoop(Source &source, std::uint32_t window)
     for (auto &p : partitions)
         p->kernelBoundary(currentCycle);
     ++statKernelsRun;
+    if (tracer) {
+        tracer->record(smLane, trace::EventKind::KernelEnd, currentCycle,
+                       0, kernel_idx);
+        // Producers are quiescent between kernels: bank everything.
+        tracer->drainAll();
+    }
 }
 
 /**
@@ -359,6 +394,10 @@ GpuSimulator::eventKernelLoop(Source &source, std::uint32_t window)
     while (!calendar.empty()) {
         auto [now, sm] = calendar.popMin();
         if (now != cursor) { // events < cap_end <= invalidCycle
+            if (tracer && cursor != invalidCycle && now > cursor + 1)
+                tracer->record(smLane, trace::EventKind::CalendarSkip,
+                               now, static_cast<std::uint16_t>(sm),
+                               now - cursor - 1);
             cursor = now;
             ++busy_cycles;
         }
@@ -390,6 +429,10 @@ GpuSimulator::eventKernelLoop(Source &source, std::uint32_t window)
                 Cycle n = u.op.computeInstrs;
                 Cycle avail = cap_end - now; // >= 1 by the invariant
                 u.instructions += std::min(n, avail);
+                if (tracer)
+                    tracer->record(smLane, trace::EventKind::SmRetire,
+                                   now, static_cast<std::uint16_t>(sm),
+                                   std::min(n, avail));
                 if (n < avail)
                     calendar.push(now + n, sm);
                 continue;
@@ -413,6 +456,9 @@ GpuSimulator::eventKernelLoop(Source &source, std::uint32_t window)
                     calendar.push(retry, sm);
                 continue;
             }
+            if (tracer)
+                tracer->record(smLane, trace::EventKind::SmIssue, now,
+                               static_cast<std::uint16_t>(sm), u.op.addr);
             Cycle complete =
                 icnt.serveNow(makeTxn(u.op, pa, sm, now), part);
             u.inflight.push(complete);
@@ -420,6 +466,10 @@ GpuSimulator::eventKernelLoop(Source &source, std::uint32_t window)
             ++u.outstanding;
             ++outstanding_total;
         } else {
+            if (tracer)
+                tracer->record(smLane, trace::EventKind::SmIssue, now,
+                               static_cast<std::uint16_t>(sm),
+                               u.op.addr | (1ull << 63));
             icnt.serveNow(makeTxn(u.op, pa, sm, now), part);
         }
         ++u.instructions;
@@ -526,6 +576,10 @@ GpuSimulator::shardedKernelLoop(Source &source, std::uint32_t window)
         while (!calendar.empty() && calendar.minCycle() < epoch_lim) {
             auto [now, sm] = calendar.popMin();
             if (now != cursor) {
+                if (tracer && cursor != invalidCycle && now > cursor + 1)
+                    tracer->record(smLane, trace::EventKind::CalendarSkip,
+                                   now, static_cast<std::uint16_t>(sm),
+                                   now - cursor - 1);
                 cursor = now;
                 ++busy_cycles;
             }
@@ -550,6 +604,11 @@ GpuSimulator::shardedKernelLoop(Source &source, std::uint32_t window)
                     Cycle n = u.op.computeInstrs;
                     Cycle avail = cap_end - now;
                     u.instructions += std::min(n, avail);
+                    if (tracer)
+                        tracer->record(smLane, trace::EventKind::SmRetire,
+                                       now,
+                                       static_cast<std::uint16_t>(sm),
+                                       std::min(n, avail));
                     if (n < avail)
                         calendar.push(now + n, sm);
                     continue;
@@ -572,10 +631,18 @@ GpuSimulator::shardedKernelLoop(Source &source, std::uint32_t window)
                     }
                     continue;
                 }
+                if (tracer)
+                    tracer->record(smLane, trace::EventKind::SmIssue, now,
+                                   static_cast<std::uint16_t>(sm),
+                                   u.op.addr);
                 icnt.submit(makeTxn(u.op, pa, sm, now));
                 ++pendingTxns;
                 ++u.outstanding;
             } else {
+                if (tracer)
+                    tracer->record(smLane, trace::EventKind::SmIssue, now,
+                                   static_cast<std::uint16_t>(sm),
+                                   u.op.addr | (1ull << 63));
                 icnt.submit(makeTxn(u.op, pa, sm, now));
                 ++pendingTxns;
             }
@@ -595,6 +662,16 @@ GpuSimulator::shardedKernelLoop(Source &source, std::uint32_t window)
                 sms[r.sm].inflight.push(r.complete);
                 max_completion = std::max(max_completion, r.complete);
             });
+            if (tracer) {
+                tracer->record(smLane, trace::EventKind::EpochBarrier,
+                               epoch_lim, 0, pendingTxns);
+                // The workers are quiescent until the next runEpoch()
+                // (the barrier's release/acquire edges order their ring
+                // writes before this drain), so the shared partition
+                // lanes can be emptied here — bounding drops to one
+                // epoch's worth of events per lane.
+                tracer->drainAll();
+            }
             pendingTxns = 0;
         }
         // Parked SMs now see every in-flight completion; resolve their

@@ -20,6 +20,7 @@
 #include "common/calendar_queue.hh"
 #include "common/dary_heap.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "detect/oracle.hh"
 #include "gpu/metrics.hh"
 #include "gpu/params.hh"
@@ -64,6 +65,15 @@ class GpuSimulator : public mee::DramRouter
 
     /** Prime detectors from a profile (SHM_upper_bound). */
     void primeFromProfile(const detect::AccessProfile &profile);
+
+    /**
+     * Attach a flight recorder (see common/trace.hh). The tracer must
+     * have numPartitions + 1 lanes: one per partition plus the SM
+     * scheduler lane; this call names the lanes and marks the
+     * partition lanes shared when the sharded engine will run. Call
+     * before run(); pass null to detach.
+     */
+    void attachTracer(trace::Tracer *t);
 
     /** Run every kernel of the workload; returns the metrics. */
     RunMetrics run();
@@ -169,6 +179,11 @@ class GpuSimulator : public mee::DramRouter
     std::vector<ParkedSm> parked;
     std::uint64_t pendingTxns = 0; //!< submitted since the last barrier
     /** @} */
+
+    /** Flight recorder; null (the default) means tracing is off. The
+     *  SM scheduler emits on lane smLane = numPartitions. */
+    trace::Tracer *tracer = nullptr;
+    std::uint32_t smLane = 0;
 
     Cycle currentCycle = 0;
     std::uint32_t currentWindow = 0; //!< per-kernel occupancy cap

@@ -52,6 +52,23 @@ MeeEngine::MeeEngine(const MeeParams &params, PartitionId partition,
                "common-counter schemes need a table");
 }
 
+namespace
+{
+
+/** Trace event kind for a metadata fetch of traffic class @p cls. */
+trace::EventKind
+fetchKindFor(mem::TrafficClass cls)
+{
+    switch (cls) {
+      case mem::TrafficClass::Counter: return trace::EventKind::CtrFetch;
+      case mem::TrafficClass::Mac: return trace::EventKind::MacFetch;
+      case mem::TrafficClass::Bmt: return trace::EventKind::BmtFetch;
+      default: return trace::EventKind::ExtraFetch;
+    }
+}
+
+} // namespace
+
 Cycle
 MeeEngine::routeMeta(Addr meta_addr, std::uint32_t bytes,
                      mem::AccessType type, mem::TrafficClass cls,
@@ -139,12 +156,20 @@ MeeEngine::metaAccess(mem::SectoredCache &cache, Addr meta_addr,
     if (victim && config.victimL2 && victim->victimActive() &&
         victim->victimProbe(meta_addr)) {
         ++statVictimHits;
+        if (tracer)
+            tracer->record(partitionId, trace::EventKind::VictimHit, now,
+                           static_cast<std::uint16_t>(partitionId),
+                           meta_addr);
         ready = now + victim->victimHitLatency();
     } else {
         std::uint32_t fetch_bytes =
             config.sectoredMetadata
                 ? static_cast<std::uint32_t>(std::popcount(fill_mask)) * 32u
                 : 128u;
+        if (tracer)
+            tracer->record(partitionId, fetchKindFor(cls), now,
+                           static_cast<std::uint16_t>(partitionId),
+                           meta_addr);
         ready = routeMeta(meta_addr, fetch_bytes, mem::AccessType::Read,
                           cls, now);
     }
@@ -218,6 +243,19 @@ MeeEngine::handleDetection(const detect::DetectionEvent &ev, Cycle now)
     Addr chunk_base = ev.chunk * chunk_bytes;
     ChunkMacState &st = chunkState(ev.chunk);
     bool ro = config.readOnlyOpt && roDetector.isReadOnly(chunk_base);
+
+    if (tracer) {
+        tracer->record(partitionId, trace::EventKind::StreamClassify, now,
+                       static_cast<std::uint16_t>(partitionId),
+                       ev.chunk |
+                           (ev.detectedStreaming ? 1ull << 63 : 0) |
+                           (ev.predictedStreaming ? 1ull << 62 : 0) |
+                           (ev.sawWrite ? 1ull << 61 : 0));
+        if (ev.exit == detect::PhaseExit::Timeout)
+            tracer->record(partitionId, trace::EventKind::TrackerTimeout,
+                           now, static_cast<std::uint16_t>(partitionId),
+                           ev.chunk);
+    }
 
     if (ev.detectedStreaming)
         ++statDetectStream;
@@ -472,6 +510,10 @@ MeeEngine::onWrite(LocalAddr local, Addr phys, Cycle now, MemSpace space)
     // --- Read-only -> not-read-only transition (Fig. 8) ---
     if (config.readOnlyOpt && roDetector.recordWrite(local)) {
         ++statRoTransitions;
+        if (tracer)
+            tracer->record(partitionId, trace::EventKind::RoTransition,
+                           now, static_cast<std::uint16_t>(partitionId),
+                           local);
         propagateSharedCounter(local, now);
     }
 

@@ -24,6 +24,7 @@
 
 #include "common/flat_map.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "detect/oracle.hh"
 #include "detect/readonly.hh"
@@ -207,6 +208,10 @@ class MeeEngine
 
     Cycle aesLatency() const { return config.aesLatency; }
 
+    /** Attach the flight recorder; the MEE emits on its partition's
+     *  lane (lane id == partition id). */
+    void setTracer(trace::Tracer *t) { tracer = t; }
+
     void regStats(stats::StatGroup *parent);
 
     /** @{ Introspection for tests and harnesses. */
@@ -309,6 +314,7 @@ class MeeEngine
     const mem::AddressMap *physMap;
     meta::CommonCounterTable *commonTable;
     const detect::AccessProfile *truthProfile = nullptr;
+    trace::Tracer *tracer = nullptr;
 
     mem::SectoredCache ctrCache;
     mem::SectoredCache macsCache;

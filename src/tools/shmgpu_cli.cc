@@ -19,6 +19,10 @@
  *   shmgpu trace info --in FILE
  *       Print a trace file's header and per-kernel op counts.
  *
+ *   shmgpu trace-info --in TRACE.json
+ *       Summarize a structured event trace produced by --trace:
+ *       event counts per class/kind and first/last detector events.
+ *
  *   shmgpu sweep [--workloads a,b,c] [--schemes X,Y] [--jobs N]
  *                [--cycles N] [--out results.json]
  *       Run a (scheme x workload) grid on a worker pool and emit the
@@ -87,20 +91,24 @@ class Args
 int
 usage()
 {
-    std::puts("usage: shmgpu <list|run|sweep|trace|bench-self> [flags]\n"
+    std::puts("usage: shmgpu"
+              " <list|run|sweep|trace|trace-info|bench-self> [flags]\n"
               "  shmgpu list\n"
               "  shmgpu run (--workload NAME | --spec FILE) [--scheme SHM]"
               " [--gpu turing|big|test] [--cycles N] [--shards N]"
               " [--overrides CFG]"
               " [--stats FILE] [--json FILE] [--accuracy] [--profile]"
-              " [--reference-loop]\n"
+              " [--reference-loop]"
+              " [--trace OUT.json] [--trace-text OUT.txt]\n"
               "  shmgpu sweep [--workloads a,b,c|all] [--schemes X,Y|all]"
               " [--jobs N] [--gpu turing|big|test] [--cycles N]"
-              " [--shards N] [--overrides CFG] [--out FILE] [--quiet]\n"
+              " [--shards N] [--overrides CFG] [--out FILE] [--quiet]"
+              " [--trace DIR]\n"
               "  shmgpu trace record --workload NAME --out FILE"
               " [--sms N]\n"
               "  shmgpu trace run --in FILE [--scheme SHM] [--cycles N]\n"
               "  shmgpu trace info --in FILE\n"
+              "  shmgpu trace-info --in TRACE.json\n"
               "  shmgpu bench-self [--quick] [--cycles N] [--reps N]"
               " [--gpu turing|big|test] [--shards N]"
               " [--out BENCH_hotpath.json]"
@@ -135,15 +143,18 @@ cmdList()
 }
 
 gpu::GpuParams
-gpuParamsFrom(const Args &args)
+gpuParamsFrom(const Args &args, trace::TraceParams *trace_params = nullptr)
 {
     gpu::GpuParams gp = gpu::presetByName(args.get("gpu", "turing"));
     std::string overrides = args.get("overrides");
     if (!overrides.empty()) {
         mee::MeeParams scratch; // GPU keys only in this path
+        trace::TraceParams trace_scratch;
         Config config = Config::fromFile(overrides);
         core::applyGpuOverrides(config, gp);
         core::applyMeeOverrides(config, scratch);
+        core::applyTraceOverrides(
+            config, trace_params ? *trace_params : trace_scratch);
         config.assertConsumed();
     }
     std::string cycles = args.get("cycles");
@@ -182,10 +193,15 @@ cmdRun(const Args &args)
         profile::reset();
     }
 
-    core::Experiment exp(gpuParamsFrom(args));
     core::RunOptions opts;
+    gpu::GpuParams gp = gpuParamsFrom(args, &opts.traceParams);
+    core::Experiment exp(gp);
     opts.collectAccuracy = args.has("accuracy");
+    opts.tracePath = args.get("trace");
+    opts.traceTextPath = args.get("trace-text");
     auto r = exp.run(scheme, w, opts);
+    if (!opts.tracePath.empty())
+        std::printf("trace written to %s\n", opts.tracePath.c_str());
     printSummary(r);
 
     if (args.has("profile"))
@@ -274,11 +290,14 @@ cmdSweep(const Args &args)
     sweep_opts.jobs = static_cast<unsigned>(
         std::stoul(args.get("jobs", "1")));
     sweep_opts.run.collectAccuracy = args.has("accuracy");
+    sweep_opts.run.traceDir = args.get("trace");
 
     if (args.has("quiet"))
         log_detail::setVerbose(false);
 
-    core::SweepRunner runner(gpuParamsFrom(args));
+    gpu::GpuParams gp = gpuParamsFrom(args,
+                                      &sweep_opts.run.traceParams);
+    core::SweepRunner runner(gp);
     auto results = runner.run(designs, workloads, sweep_opts);
 
     if (!args.has("quiet")) {
@@ -303,6 +322,9 @@ cmdSweep(const Args &args)
         std::printf("sweep results written to %s (%zu cells)\n",
                     out.c_str(), results.size());
     }
+    if (!sweep_opts.run.traceDir.empty())
+        std::printf("per-cell traces written to %s/\n",
+                    sweep_opts.run.traceDir.c_str());
     return 0;
 }
 
@@ -412,6 +434,95 @@ cmdBenchSelf(const Args &args)
     return 0;
 }
 
+/**
+ * Summarize an exported Chrome trace_event JSON file: event counts per
+ * class and kind, the cycle span, and the first/last detector events
+ * (the usual "when did classification settle" question, answerable
+ * without loading Perfetto).
+ */
+int
+cmdTraceInfo(const Args &args)
+{
+    std::string in = args.get("in");
+    if (in.empty())
+        shm_fatal("trace-info needs --in FILE (a --trace export)");
+    json::Value doc = json::Value::parseFile(in);
+    if (!doc.isObject() || !doc.contains("traceEvents"))
+        shm_fatal("'{}' is not a shmgpu trace export "
+                  "(no traceEvents array)", in);
+    const json::Value &events = doc.at("traceEvents");
+
+    std::map<std::string, std::uint64_t> by_class;
+    std::map<std::string, std::uint64_t> by_kind;
+    std::uint64_t total = 0;
+    double first_ts = 0, last_ts = 0;
+    bool have_span = false;
+    struct DetectMark
+    {
+        std::string name;
+        double ts = 0;
+        std::string payload;
+        bool set = false;
+    };
+    DetectMark first_detect, last_detect;
+
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const json::Value &e = events.at(i);
+        if (e.at("ph").asString() != "i")
+            continue; // metadata records carry no cycle
+        ++total;
+        const std::string &cat = e.at("cat").asString();
+        const std::string &name = e.at("name").asString();
+        double ts = e.at("ts").asNumber();
+        ++by_class[cat];
+        ++by_kind[name];
+        if (!have_span || ts < first_ts)
+            first_ts = ts;
+        if (!have_span || ts > last_ts)
+            last_ts = ts;
+        have_span = true;
+        if (cat == "detect") {
+            const std::string &payload =
+                e.at("args").at("payload").asString();
+            if (!first_detect.set)
+                first_detect = {name, ts, payload, true};
+            last_detect = {name, ts, payload, true};
+        }
+    }
+
+    std::string dropped = "0";
+    if (doc.contains("otherData") &&
+        doc.at("otherData").contains("dropped_events"))
+        dropped = doc.at("otherData").at("dropped_events").asString();
+
+    std::printf("%llu events (%s dropped)\n",
+                static_cast<unsigned long long>(total), dropped.c_str());
+    if (have_span)
+        std::printf("cycle span: %.0f .. %.0f\n", first_ts, last_ts);
+    std::puts("per class:");
+    for (const auto &[cls, count] : by_class)
+        std::printf("  %-8s %llu\n", cls.c_str(),
+                    static_cast<unsigned long long>(count));
+    std::puts("per kind:");
+    for (const auto &[kind, count] : by_kind)
+        std::printf("  %-16s %llu\n", kind.c_str(),
+                    static_cast<unsigned long long>(count));
+    if (first_detect.set) {
+        std::printf("first detector event: %s @ cycle %.0f "
+                    "(payload %s)\n",
+                    first_detect.name.c_str(), first_detect.ts,
+                    first_detect.payload.c_str());
+        std::printf("last detector event : %s @ cycle %.0f "
+                    "(payload %s)\n",
+                    last_detect.name.c_str(), last_detect.ts,
+                    last_detect.payload.c_str());
+    } else {
+        std::puts("no detector events (class filtered out or no "
+                  "detection activity)");
+    }
+    return 0;
+}
+
 int
 cmdTrace(const Args &args, const std::string &sub)
 {
@@ -478,6 +589,10 @@ main(int argc, char **argv)
         return cmdSweep(Args(argc, argv, 2));
     if (cmd == "bench-self")
         return cmdBenchSelf(Args(argc, argv, 2));
+    // Check before "trace": that prefix names the workload-trace
+    // subcommands, while trace-info summarizes a --trace export.
+    if (cmd == "trace-info")
+        return cmdTraceInfo(Args(argc, argv, 2));
     if (cmd == "trace") {
         if (argc < 3)
             return usage();

@@ -81,6 +81,19 @@ void writeTrace(const Trace &trace, const std::string &path);
 Trace readTrace(const std::string &path);
 
 /**
+ * Load a trace without dying on bad input: returns false and fills
+ * @p error with an actionable message on I/O or format problems
+ * (missing file, bad magic, unsupported version, truncation, count
+ * fields exceeding the file size, out-of-range SM ids or memory
+ * spaces). Element counts are validated against the bytes actually
+ * remaining in the file before any allocation, so a corrupt count
+ * field cannot trigger a huge reserve. @p out is unspecified on
+ * failure.
+ */
+bool tryReadTrace(const std::string &path, Trace &out,
+                  std::string &error);
+
+/**
  * Per-kernel replay source with the same next()/done() shape as
  * KernelTrace: per-SM queues return the recorded streams.
  */

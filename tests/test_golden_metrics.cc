@@ -17,6 +17,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 
 #include "core/sweep.hh"
 
@@ -38,12 +39,19 @@ goldenPath()
     return std::string(SHMGPU_GOLDEN_DIR) + "/golden_metrics.json";
 }
 
-/** The pinned grid. Changing it invalidates the golden file. */
+/**
+ * The pinned grid. Changing it invalidates the golden file.
+ * @p mutate adjusts *engine* knobs (shard count, kernel loop) that by
+ * contract cannot move any metric — those variants are checked against
+ * the very same golden numbers.
+ */
 std::vector<ExperimentResult>
-runPinnedGrid()
+runPinnedGrid(const std::function<void(gpu::GpuParams &)> &mutate = {})
 {
     gpu::GpuParams params;
     params.maxCyclesPerKernel = 20000;
+    if (mutate)
+        mutate(params);
 
     const std::vector<schemes::Scheme> designs = {
         schemes::Scheme::Naive, schemes::Scheme::Pssm,
@@ -90,21 +98,11 @@ updateRequested()
            std::string(env) != "0";
 }
 
-} // namespace
-
-TEST(GoldenMetrics, SeedGridMatchesGoldenFile)
+/** Compare a grid's metrics against the committed golden file. */
+void
+expectMatchesGolden(const std::vector<ExperimentResult> &results)
 {
-    auto results = runPinnedGrid();
     json::Value current = goldenFromResults(results);
-
-    if (updateRequested()) {
-        std::ofstream os(goldenPath(), std::ios::binary);
-        ASSERT_TRUE(os) << "cannot write " << goldenPath();
-        current.write(os, 2);
-        os << "\n";
-        GTEST_SKIP() << "golden file regenerated at " << goldenPath();
-    }
-
     json::Value golden = json::Value::parseFile(goldenPath());
     const auto &want = golden.at("cells");
     const auto &got = current.at("cells");
@@ -128,6 +126,41 @@ TEST(GoldenMetrics, SeedGridMatchesGoldenFile)
                 << "regenerate with SHMGPU_UPDATE_GOLDEN=1";
         }
     }
+}
+
+} // namespace
+
+TEST(GoldenMetrics, SeedGridMatchesGoldenFile)
+{
+    auto results = runPinnedGrid();
+
+    if (updateRequested()) {
+        json::Value current = goldenFromResults(results);
+        std::ofstream os(goldenPath(), std::ios::binary);
+        ASSERT_TRUE(os) << "cannot write " << goldenPath();
+        current.write(os, 2);
+        os << "\n";
+        GTEST_SKIP() << "golden file regenerated at " << goldenPath();
+    }
+
+    expectMatchesGolden(results);
+}
+
+TEST(GoldenMetrics, ShardedGridMatchesGoldenFile)
+{
+    // The sharded engine is a pure parallelization: --shards 4 must
+    // reproduce the committed numbers bit for bit. This tier never
+    // regenerates — the serial test owns the file.
+    expectMatchesGolden(
+        runPinnedGrid([](gpu::GpuParams &p) { p.shards = 4; }));
+}
+
+TEST(GoldenMetrics, ReferenceLoopGridMatchesGoldenFile)
+{
+    // Same contract for the per-cycle reference engine: both kernel
+    // loops simulate the same machine.
+    expectMatchesGolden(runPinnedGrid(
+        [](gpu::GpuParams &p) { p.referenceKernelLoop = true; }));
 }
 
 TEST(GoldenMetrics, GoldenFileIsSelfConsistent)

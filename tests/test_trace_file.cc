@@ -1,14 +1,19 @@
 /**
  * @file
- * Trace record/replay tests: file round-trip, replay fidelity, and
- * trace-driven simulation.
+ * Trace record/replay tests: file round-trip, replay fidelity,
+ * trace-driven simulation, and reader robustness (randomized
+ * round-trips; corrupt and truncated files must produce an error
+ * message, never a crash or a runaway allocation).
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
 
+#include "common/rng.hh"
 #include "gpu/simulator.hh"
 #include "schemes/schemes.hh"
 #include "workload/trace_file.hh"
@@ -170,4 +175,242 @@ TEST_F(TraceFileTest, CorruptFileIsFatal)
 TEST_F(TraceFileTest, MissingFileIsFatal)
 {
     EXPECT_DEATH(readTrace("/nonexistent/foo.trace"), "cannot open");
+}
+
+namespace
+{
+
+/** A structurally valid random trace (op fields within range). */
+Trace
+randomTrace(Rng &rng)
+{
+    Trace trace;
+    trace.numSms = 1 + static_cast<std::uint32_t>(rng.below(8));
+    std::size_t kernels = 1 + rng.below(4);
+    for (std::size_t k = 0; k < kernels; ++k) {
+        TraceKernel kernel;
+        std::size_t copies = rng.below(4);
+        for (std::size_t c = 0; c < copies; ++c)
+            kernel.copies.push_back({rng.below(1 << 20) * 128,
+                                     (1 + rng.below(64)) * 128,
+                                     rng.chance(0.5)});
+        std::size_t records = rng.below(200);
+        for (std::size_t r = 0; r < records; ++r) {
+            TraceRecord rec;
+            rec.op.addr = rng.below(1 << 24) * 32;
+            rec.op.bytes = 32u << rng.below(3);
+            rec.op.computeInstrs =
+                static_cast<std::uint8_t>(rng.below(8));
+            rec.op.type = rng.chance(0.3) ? mem::AccessType::Write
+                                          : mem::AccessType::Read;
+            rec.op.space = static_cast<MemSpace>(rng.below(5));
+            rec.sm = static_cast<SmId>(rng.below(trace.numSms));
+            kernel.records.push_back(rec);
+        }
+        trace.kernels.push_back(std::move(kernel));
+    }
+    return trace;
+}
+
+bool
+tracesEqual(const Trace &a, const Trace &b)
+{
+    if (a.numSms != b.numSms || a.kernels.size() != b.kernels.size())
+        return false;
+    for (std::size_t k = 0; k < a.kernels.size(); ++k) {
+        const auto &ka = a.kernels[k];
+        const auto &kb = b.kernels[k];
+        if (ka.copies.size() != kb.copies.size() ||
+            ka.records.size() != kb.records.size())
+            return false;
+        for (std::size_t c = 0; c < ka.copies.size(); ++c)
+            if (ka.copies[c].base != kb.copies[c].base ||
+                ka.copies[c].bytes != kb.copies[c].bytes ||
+                ka.copies[c].declaredReadOnly !=
+                    kb.copies[c].declaredReadOnly)
+                return false;
+        for (std::size_t r = 0; r < ka.records.size(); ++r) {
+            const auto &ra = ka.records[r];
+            const auto &rb = kb.records[r];
+            if (ra.sm != rb.sm || ra.op.addr != rb.op.addr ||
+                ra.op.type != rb.op.type ||
+                ra.op.space != rb.op.space ||
+                ra.op.computeInstrs != rb.op.computeInstrs ||
+                ra.op.bytes != rb.op.bytes)
+                return false;
+        }
+    }
+    return true;
+}
+
+std::vector<char>
+fileBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(is),
+                             std::istreambuf_iterator<char>());
+}
+
+void
+writeFileBytes(const std::string &path, const std::vector<char> &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+}
+
+} // namespace
+
+TEST_F(TraceFileTest, RandomizedWriteReadWriteRoundTrip)
+{
+    // write -> read -> write must be a fixed point: the reread trace
+    // equals the original and the two files are byte-identical.
+    std::string path2 = path + ".2";
+    for (std::uint64_t seed = 0; seed < 12; ++seed) {
+        Rng rng(seed);
+        Trace original = randomTrace(rng);
+        writeTrace(original, path);
+
+        Trace loaded;
+        std::string error;
+        ASSERT_TRUE(tryReadTrace(path, loaded, error)) << error;
+        EXPECT_TRUE(tracesEqual(original, loaded)) << "seed " << seed;
+
+        writeTrace(loaded, path2);
+        EXPECT_EQ(fileBytes(path), fileBytes(path2)) << "seed " << seed;
+    }
+    std::remove(path2.c_str());
+}
+
+TEST_F(TraceFileTest, TryReadReportsMissingFile)
+{
+    Trace out;
+    std::string error;
+    EXPECT_FALSE(tryReadTrace("/nonexistent/foo.trace", out, error));
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST_F(TraceFileTest, TruncationAtEveryPrefixFailsGracefully)
+{
+    Rng rng(7);
+    Trace original = randomTrace(rng);
+    writeTrace(original, path);
+    std::vector<char> intact = fileBytes(path);
+    ASSERT_GT(intact.size(), 32u);
+
+    // Every strict prefix must yield an error, never a crash. (Step
+    // through offsets to keep the loop fast on big traces.)
+    for (std::size_t len = 0; len < intact.size();
+         len += 1 + len / 7) {
+        std::vector<char> cut(intact.begin(),
+                              intact.begin() +
+                                  static_cast<std::ptrdiff_t>(len));
+        writeFileBytes(path, cut);
+        Trace out;
+        std::string error;
+        EXPECT_FALSE(tryReadTrace(path, out, error)) << "len " << len;
+        EXPECT_FALSE(error.empty()) << "len " << len;
+    }
+}
+
+TEST_F(TraceFileTest, CorruptCountFieldsFailWithoutHugeAllocation)
+{
+    Rng rng(11);
+    Trace original = randomTrace(rng);
+    writeTrace(original, path);
+    std::vector<char> intact = fileBytes(path);
+
+    // The op count of kernel 0 sits after the header and its copies.
+    std::size_t count_off = 4 + 4 + 4 + 4 + 4 +
+                            original.kernels[0].copies.size() * 17;
+    ASSERT_LT(count_off + 8, intact.size());
+    std::vector<char> evil = intact;
+    for (int i = 0; i < 8; ++i)
+        evil[count_off + i] = static_cast<char>(0xff);
+    writeFileBytes(path, evil);
+
+    Trace out;
+    std::string error;
+    // A naive reader would reserve() 2^64 records here; the bounded
+    // reader must fail fast with a corruption message instead.
+    EXPECT_FALSE(tryReadTrace(path, out, error));
+    EXPECT_NE(error.find("exceeds the file size"), std::string::npos);
+}
+
+TEST_F(TraceFileTest, RandomByteFlipsNeverCrashTheReader)
+{
+    Rng rng(23);
+    Trace original = randomTrace(rng);
+    writeTrace(original, path);
+    std::vector<char> intact = fileBytes(path);
+
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<char> fuzzed = intact;
+        // Flip 1-4 random bytes anywhere in the file.
+        int flips = 1 + static_cast<int>(rng.below(4));
+        for (int i = 0; i < flips; ++i)
+            fuzzed[rng.below(fuzzed.size())] ^=
+                static_cast<char>(1 + rng.below(255));
+        writeFileBytes(path, fuzzed);
+        Trace out;
+        std::string error;
+        // Either a clean parse (the flip hit a don't-care byte or was
+        // masked) or a clean error; both must leave the process alive.
+        if (!tryReadTrace(path, out, error)) {
+            EXPECT_FALSE(error.empty()) << "trial " << trial;
+        }
+    }
+}
+
+TEST_F(TraceFileTest, OutOfRangeSmAndSpaceAreRejected)
+{
+    Trace trace;
+    trace.numSms = 2;
+    TraceKernel kernel;
+    TraceRecord rec;
+    rec.op.addr = 128;
+    rec.op.bytes = 32;
+    rec.sm = 1;
+    kernel.records.push_back(rec);
+    trace.kernels.push_back(kernel);
+    writeTrace(trace, path);
+    std::vector<char> intact = fileBytes(path);
+
+    // Record layout after the 16 B header + 8 B op count:
+    // u64 addr, u8 sm, u8 compute, u8 type, u8 space, u32 bytes.
+    std::size_t rec_off = 4 + 4 + 4 + 4 + 4 + 8;
+    {
+        std::vector<char> evil = intact;
+        evil[rec_off + 8] = 9; // SM 9 of 2
+        writeFileBytes(path, evil);
+        Trace out;
+        std::string error;
+        EXPECT_FALSE(tryReadTrace(path, out, error));
+        EXPECT_NE(error.find("names SM 9"), std::string::npos);
+    }
+    {
+        std::vector<char> evil = intact;
+        evil[rec_off + 11] = 7; // memory space 7 (max is 4)
+        writeFileBytes(path, evil);
+        Trace out;
+        std::string error;
+        EXPECT_FALSE(tryReadTrace(path, out, error));
+        EXPECT_NE(error.find("invalid memory space"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(TraceFileTest, TrailingGarbageIsRejected)
+{
+    Rng rng(3);
+    Trace original = randomTrace(rng);
+    writeTrace(original, path);
+    std::vector<char> bytes = fileBytes(path);
+    bytes.push_back('x');
+    writeFileBytes(path, bytes);
+
+    Trace out;
+    std::string error;
+    EXPECT_FALSE(tryReadTrace(path, out, error));
+    EXPECT_NE(error.find("trailing garbage"), std::string::npos);
 }
