@@ -21,10 +21,11 @@ import sys
 
 # A fresh result must match the baseline on these fields for the
 # throughput comparison to mean anything. "shards" keeps a sharded run
-# from being compared against the serial baseline (absent in baselines
-# recorded before the field existed, which .get() treats as None —
-# re-record the baseline to compare).
-CONFIG_KEYS = ("benchmark", "gpu", "kernel_loop",
+# from being compared against the serial baseline, "policy" keeps a
+# --policy sieve run from being compared against the default-LRU
+# baseline (absent in baselines recorded before the field existed,
+# which .get() treats as None — re-record the baseline to compare).
+CONFIG_KEYS = ("benchmark", "gpu", "kernel_loop", "policy",
                "max_cycles_per_kernel", "cells", "shards")
 
 

@@ -293,4 +293,61 @@ BM_CacheAccessHitHot(benchmark::State &state)
 }
 BENCHMARK(BM_CacheAccessHitHot);
 
+namespace
+{
+
+mem::CacheParams
+policyBenchParams(std::int64_t policy_index)
+{
+    mem::CacheParams p;
+    p.sizeBytes = 128 * 1024;
+    p.assoc = 16;
+    p.policy = mem::allPolicies()[static_cast<std::size_t>(
+        policy_index)];
+    return p;
+}
+
+} // namespace
+
+static void
+BM_CacheHitByPolicy(benchmark::State &state)
+{
+    // The policy cost on the hit path: one virtual onHit per access
+    // (LRU bumps a stamp, SIEVE sets a bit, FIFO/Random do nothing).
+    // Arg is the index into mem::allPolicies().
+    mem::SectoredCache cache(policyBenchParams(state.range(0)));
+    for (Addr a = 0; a < 64 * 128; a += 128)
+        cache.fill(a, 0xF);
+    Addr addr = 0;
+    for (auto _ : state) {
+        auto r = cache.access(addr, 32, false);
+        benchmark::DoNotOptimize(r);
+        addr = (addr + 128) % (64 * 128);
+    }
+    state.SetLabel(mem::policyName(
+        mem::allPolicies()[static_cast<std::size_t>(state.range(0))]));
+}
+BENCHMARK(BM_CacheHitByPolicy)->DenseRange(0, 4);
+
+static void
+BM_CacheFillEvictByPolicy(benchmark::State &state)
+{
+    // The policy cost on the miss path: every fill past the first
+    // 16 ways of a set victimizes, exercising victim() (stamp scan,
+    // S3FIFO queue rotation, SIEVE hand walk) plus onInsert. The
+    // footprint is 4x the cache so each set thrashes.
+    mem::CacheParams p = policyBenchParams(state.range(0));
+    mem::SectoredCache cache(p);
+    const Addr span = 4 * p.sizeBytes;
+    Addr addr = 0;
+    for (auto _ : state) {
+        cache.fill(addr, 0xF);
+        benchmark::DoNotOptimize(cache);
+        addr = (addr + 128) % span;
+    }
+    state.SetLabel(mem::policyName(
+        mem::allPolicies()[static_cast<std::size_t>(state.range(0))]));
+}
+BENCHMARK(BM_CacheFillEvictByPolicy)->DenseRange(0, 4);
+
 BENCHMARK_MAIN();

@@ -75,9 +75,12 @@ Experiment::run(schemes::Scheme scheme,
     ExperimentResult result;
     result.workload = spec.name;
     result.scheme = schemes::schemeName(scheme);
+    result.l2Policy = mem::policyName(gpuParams().l2Policy);
+    result.mdcPolicy = mem::policyName(options.mdcPolicy);
     result.baseline = baselineFor(spec);
 
     mee::MeeParams mee_params = schemes::makeMeeParams(scheme);
+    mee_params.mdcPolicy = options.mdcPolicy;
 
     std::optional<detect::AccessProfile> profile;
     bool want_profile = options.collectAccuracy ||

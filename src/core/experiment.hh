@@ -69,6 +69,16 @@ struct RunOptions
 
     /** Tracer configuration (event-class filter, ring capacity). */
     trace::TraceParams traceParams;
+
+    /**
+     * Replacement policy for the MEE metadata caches (`mee.mdc_policy`
+     * / `--policy`). Carried in RunOptions rather than GpuParams
+     * because the scheme registry owns MeeParams construction: the
+     * experiment stamps this into whatever makeMeeParams returns, for
+     * the measured pass only (baseline and profile passes have no
+     * metadata caches to steer).
+     */
+    mem::PolicyKind mdcPolicy = mem::PolicyKind::Lru;
 };
 
 /** One (scheme, workload) result, normalized to the baseline. */
@@ -76,6 +86,9 @@ struct ExperimentResult
 {
     std::string workload;
     std::string scheme;
+    /** Replacement policies the cell ran under ("lru", "sieve", ...). */
+    std::string l2Policy;
+    std::string mdcPolicy;
     gpu::RunMetrics metrics;
     gpu::RunMetrics baseline;
 

@@ -25,6 +25,9 @@ applyGpuOverrides(Config &config, gpu::GpuParams &p)
         "gpu.victim_threshold", p.victimMissRateThreshold);
     p.referenceKernelLoop = config.getBool("gpu.reference_loop",
                                            p.referenceKernelLoop);
+    // Fatal on unknown names, listing the valid set.
+    p.l2Policy = mem::policyFromName(config.getString(
+        "cache.policy", mem::policyName(p.l2Policy)));
 
     p.dram.bytesPerCycle =
         config.getDouble("dram.bytes_per_cycle", p.dram.bytesPerCycle);
@@ -60,6 +63,8 @@ applyMeeOverrides(Config &config, mee::MeeParams &p)
     p.counterCache.sizeBytes = mdc;
     p.macCache.sizeBytes = mdc;
     p.bmtCache.sizeBytes = mdc;
+    p.mdcPolicy = mem::policyFromName(config.getString(
+        "mee.mdc_policy", mem::policyName(p.mdcPolicy)));
 
     p.streamDetector.trackers = static_cast<std::uint32_t>(
         config.getU64("mee.mats", p.streamDetector.trackers));

@@ -8,15 +8,18 @@
  *   gpu.num_sms            = 30
  *   gpu.sm_window          = 64
  *   gpu.max_cycles         = 100000
+ *   cache.policy           = lru   # L2: lru/fifo/random/s3fifo/sieve
  *   dram.bytes_per_cycle   = 16
  *   mee.chunk_bytes        = 4096
  *   mee.mats               = 16
  *   mee.mdc_bytes          = 2048
+ *   mee.mdc_policy         = lru   # metadata caches, same value set
  *   mee.mac_bytes          = 8
  *   mee.bmt_arity          = 16
  *   mee.static_space_hints = true
  *
- * Unknown keys are fatal (Config::assertConsumed).
+ * Unknown keys are fatal (Config::assertConsumed); so are unknown
+ * policy names, which list the valid set in the error.
  */
 
 #ifndef SHMGPU_CORE_OVERRIDES_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <iterator>
 #include <map>
 #include <ostream>
 #include <thread>
@@ -100,6 +101,28 @@ SweepRunner::runCells(const std::vector<SweepCell> &cells,
     return results;
 }
 
+std::vector<ExperimentResult>
+runPolicyGrid(const gpu::GpuParams &base,
+              const std::vector<mem::PolicyKind> &policies,
+              const std::vector<schemes::Scheme> &schemes,
+              const std::vector<const workload::WorkloadSpec *> &workloads,
+              const SweepOptions &options)
+{
+    std::vector<ExperimentResult> all;
+    all.reserve(policies.size() * schemes.size() * workloads.size());
+    for (mem::PolicyKind policy : policies) {
+        gpu::GpuParams gp = base;
+        gp.l2Policy = policy;
+        SweepOptions opts = options;
+        opts.run.mdcPolicy = policy;
+        SweepRunner runner(gp);
+        auto results = runner.run(schemes, workloads, opts);
+        all.insert(all.end(), std::make_move_iterator(results.begin()),
+                   std::make_move_iterator(results.end()));
+    }
+    return all;
+}
+
 namespace
 {
 
@@ -156,6 +179,8 @@ resultToJson(const ExperimentResult &result)
     json::Value v = json::Value::object();
     v["workload"] = json::Value(result.workload);
     v["scheme"] = json::Value(result.scheme);
+    v["l2Policy"] = json::Value(result.l2Policy);
+    v["mdcPolicy"] = json::Value(result.mdcPolicy);
     v["normalizedIpc"] = json::Value(result.normalizedIpc);
     v["overhead"] = json::Value(result.overhead());
     v["normalizedEnergyPerInstr"] =
@@ -169,7 +194,8 @@ json::Value
 sweepToJson(const std::vector<ExperimentResult> &results)
 {
     json::Value doc = json::Value::object();
-    doc["schemaVersion"] = json::Value(1);
+    // v2: results carry "l2Policy"/"mdcPolicy" (replacement-policy axis).
+    doc["schemaVersion"] = json::Value(2);
     doc["cells"] = json::Value(results.size());
 
     json::Value arr = json::Value::array();

@@ -113,6 +113,25 @@ class SweepRunner
     std::shared_ptr<BaselineCache> baselines;
 };
 
+/**
+ * Run a policy x scheme x workload grid: for each replacement policy,
+ * run the full (schemes x workloads) grid with the L2 banks *and* the
+ * metadata caches switched to that policy. Results are policy-major
+ * (all cells of policies[0] first), each annotated with its policy
+ * names for the JSON sink.
+ *
+ * A fresh SweepRunner (and thus BaselineCache) is built per policy:
+ * the L2 policy changes the no-security baseline IPC, so cells must
+ * normalize against a baseline running under the *same* policy or the
+ * overhead numbers would mix machines.
+ */
+std::vector<ExperimentResult>
+runPolicyGrid(const gpu::GpuParams &base,
+              const std::vector<mem::PolicyKind> &policies,
+              const std::vector<schemes::Scheme> &schemes,
+              const std::vector<const workload::WorkloadSpec *> &workloads,
+              const SweepOptions &options = {});
+
 /** One result as a JSON object (all metrics, fixed member order). */
 json::Value resultToJson(const ExperimentResult &result);
 

@@ -23,6 +23,13 @@ l2CacheParams(const GpuParams &params, PartitionId partition,
     cp.mshrMergeMax = params.l2MshrMerge;
     cp.writeAllocate = true;
     cp.fetchOnWriteMiss = false; // GPU write-validate
+    cp.policy = params.l2Policy;
+    // Per-bank random stream, derived from position only so results
+    // are independent of shard count and sweep job placement.
+    cp.policySeed ^= (static_cast<std::uint64_t>(partition) *
+                          params.l2BanksPerPartition +
+                      bank_index + 1) *
+                     0x2545F4914F6CDD1Dull;
     return cp;
 }
 

@@ -13,6 +13,7 @@
 #include "common/types.hh"
 #include "gpu/interconnect.hh"
 #include "mem/dram.hh"
+#include "mem/replacement.hh"
 
 namespace shmgpu::gpu
 {
@@ -30,6 +31,10 @@ struct GpuParams
     std::uint32_t l2Mshrs = 192;
     std::uint32_t l2MshrMerge = 16;
     Cycle l2HitLatency = 32;
+    /** L2 line replacement (`cache.policy` / `--policy`). The victim
+     *  miss-rate monitor is policy-agnostic, so the 90 % trigger works
+     *  under scan-resistant policies too. */
+    mem::PolicyKind l2Policy = mem::PolicyKind::Lru;
     /** @} */
 
     /** Interconnect latency, each direction. */

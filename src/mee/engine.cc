@@ -30,6 +30,27 @@ MeeParams::MeeParams()
     bmtCache.fetchOnWriteMiss = true; // node updates are RMW
 }
 
+namespace
+{
+
+/**
+ * Stamp the shared MDC policy into one metadata cache's params with a
+ * per-partition, per-role random-stream seed (a function of position
+ * only, so metadata replacement is identical across shard counts and
+ * sweep job placement).
+ */
+mem::CacheParams
+withMdcPolicy(mem::CacheParams cp, mem::PolicyKind policy,
+              PartitionId partition, std::uint64_t role)
+{
+    cp.policy = policy;
+    cp.policySeed ^= (static_cast<std::uint64_t>(partition) * 4 + role + 1) *
+                     0xD6E8FEB86659FD93ull;
+    return cp;
+}
+
+} // namespace
+
 MeeEngine::MeeEngine(const MeeParams &params, PartitionId partition,
                      const meta::MetadataLayout *meta_layout,
                      DramRouter *dram_router, VictimCacheIf *victim_if,
@@ -37,8 +58,13 @@ MeeEngine::MeeEngine(const MeeParams &params, PartitionId partition,
                      meta::CommonCounterTable *common_table)
     : config(params), partitionId(partition), layout(meta_layout),
       router(dram_router), victim(victim_if), physMap(phys_map),
-      commonTable(common_table), ctrCache(params.counterCache),
-      macsCache(params.macCache), treeCache(params.bmtCache),
+      commonTable(common_table),
+      ctrCache(withMdcPolicy(params.counterCache, params.mdcPolicy,
+                             partition, 0)),
+      macsCache(withMdcPolicy(params.macCache, params.mdcPolicy,
+                              partition, 1)),
+      treeCache(withMdcPolicy(params.bmtCache, params.mdcPolicy,
+                              partition, 2)),
       roDetector(params.roDetector), streamDetector(params.streamDetector)
 {
     shm_assert(layout != nullptr, "MEE needs a metadata layout");

@@ -76,6 +76,14 @@ struct MeeParams
     mem::CacheParams counterCache;
     mem::CacheParams macCache;
     mem::CacheParams bmtCache;
+    /**
+     * Replacement policy applied to all three metadata caches
+     * (`mee.mdc_policy`). Kept beside the CacheParams rather than in
+     * them so scheme constructors can't diverge the three caches by
+     * accident; the engine stamps it into each cache at build time
+     * with a per-partition, per-role random seed.
+     */
+    mem::PolicyKind mdcPolicy = mem::PolicyKind::Lru;
     detect::ReadOnlyDetectorParams roDetector;
     detect::StreamingDetectorParams streamDetector;
 

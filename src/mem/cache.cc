@@ -43,6 +43,12 @@ SectoredCache::SectoredCache(const CacheParams &params) : config(params)
     lineState.assign(numSets * config.assoc, LineState{});
     mshrTable.reserve(config.mshrs);
     pendingWriteMask.reserve(config.mshrs);
+
+    replacementRng = Rng(config.policySeed);
+    setPolicies.reserve(numSets);
+    for (std::size_t s = 0; s < numSets; ++s)
+        setPolicies.push_back(makeReplacementPolicy(
+            config.policy, config.assoc, &replacementRng));
 }
 
 std::uint32_t
@@ -76,41 +82,23 @@ SectoredCache::victimWay(Addr block_addr, Writeback &wb)
     std::size_t base = setIndex(block_addr) * config.assoc;
     std::size_t victim = noWay;
 
-    if (config.replacement == ReplacementPolicy::Random) {
-        // Deterministic xorshift pick among valid lines, but invalid
-        // lines still take priority.
+    // Invalid lines take priority regardless of policy: first invalid
+    // way in way order. The policy is only consulted when the set is
+    // full, and its pick is implicitly evicted (the policy forgets the
+    // way before returning; see mem/replacement.hh).
+    for (std::size_t w = 0; w < config.assoc; ++w) {
+        if (tags[base + w] == 0) {
+            victim = base + w;
+            break;
+        }
+    }
+    if (victim == noWay) {
+        std::uint64_t pending = 0;
         for (std::size_t w = 0; w < config.assoc; ++w) {
-            if (tags[base + w] == 0) {
-                victim = base + w;
-                break;
-            }
+            if (lineState[base + w].pendingFill)
+                pending |= std::uint64_t{1} << w;
         }
-        if (victim == noWay) {
-            randomState ^= randomState << 13;
-            randomState ^= randomState >> 7;
-            randomState ^= randomState << 17;
-            victim = base + randomState % config.assoc;
-        }
-    } else {
-        // LRU and FIFO share the stamp comparison; they differ in
-        // whether access() refreshes the stamp (see below).
-        for (std::size_t w = 0; w < config.assoc; ++w) {
-            std::size_t line = base + w;
-            if (tags[line] == 0) {
-                victim = line;
-                break;
-            }
-            // Prefer lines without an in-flight fill; among those,
-            // the oldest stamp.
-            if (victim == noWay ||
-                (lineState[victim].pendingFill &&
-                 !lineState[line].pendingFill) ||
-                (lineState[victim].pendingFill ==
-                     lineState[line].pendingFill &&
-                 lineState[line].lruStamp < lineState[victim].lruStamp)) {
-                victim = line;
-            }
-        }
+        victim = base + setPolicies[base / config.assoc]->victim(pending);
     }
 
     if (tags[victim] != 0) {
@@ -137,9 +125,10 @@ SectoredCache::access(Addr addr, std::uint32_t bytes, bool is_write)
 
     std::size_t way = findWay(block);
     if (way != noWay && (lineState[way].validMask & want) == want) {
-        // Full sector hit. FIFO keeps the insertion-time stamp.
-        if (config.replacement == ReplacementPolicy::Lru)
-            lineState[way].lruStamp = ++lruClock;
+        // Full sector hit. What (if anything) this refreshes is the
+        // policy's call: LRU bumps recency, FIFO/SIEVE/S3FIFO don't
+        // reorder.
+        policyFor(way).onHit(localWay(way));
         if (is_write)
             lineState[way].dirtyMask |= want;
         ++statHits;
@@ -163,7 +152,7 @@ SectoredCache::access(Addr addr, std::uint32_t bytes, bool is_write)
         }
         lineState[way].validMask |= want;
         lineState[way].dirtyMask |= want;
-        lineState[way].lruStamp = ++lruClock;
+        policyFor(way).onInsert(localWay(way), block);
         ++statWriteNoFetch;
         return {CacheOutcome::WriteNoFetch, 0};
     }
@@ -214,7 +203,7 @@ SectoredCache::fill(Addr block_addr, std::uint32_t sector_mask)
         way = victimWay(block, wb);
     lineState[way].validMask |= sector_mask;
     lineState[way].pendingFill = false;
-    lineState[way].lruStamp = ++lruClock;
+    policyFor(way).onInsert(localWay(way), block);
 
     if (std::uint32_t *pending = pendingWriteMask.find(block)) {
         lineState[way].validMask |= *pending;
@@ -253,7 +242,7 @@ SectoredCache::insert(Addr block_addr, std::uint32_t valid_mask,
         way = victimWay(block, wb);
     lineState[way].validMask |= valid_mask;
     lineState[way].dirtyMask |= dirty_mask;
-    lineState[way].lruStamp = ++lruClock;
+    policyFor(way).onInsert(localWay(way), block);
     return wb;
 }
 
@@ -268,6 +257,7 @@ SectoredCache::invalidate(Addr block_addr)
             wb.blockAddr = lineTag(way);
             wb.dirtyMask = lineState[way].dirtyMask;
         }
+        policyFor(way).onEvict(localWay(way));
         tags[way] = 0;
         lineState[way].validMask = 0;
         lineState[way].dirtyMask = 0;

@@ -13,23 +13,18 @@
 #define SHMGPU_MEM_CACHE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/flat_map.hh"
+#include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "mem/replacement.hh"
 
 namespace shmgpu::mem
 {
-
-/** Line replacement policy. */
-enum class ReplacementPolicy : std::uint8_t
-{
-    Lru,    //!< least recently used (default; what the paper assumes)
-    Fifo,   //!< insertion order
-    Random  //!< pseudo-random (deterministic xorshift)
-};
 
 /** Static configuration of a SectoredCache. */
 struct CacheParams
@@ -50,7 +45,14 @@ struct CacheParams
      * write semantics, used by nothing today but kept for generality).
      */
     bool fetchOnWriteMiss = false;
-    ReplacementPolicy replacement = ReplacementPolicy::Lru;
+    /** Line replacement policy (see mem/replacement.hh). */
+    PolicyKind policy = PolicyKind::Lru;
+    /**
+     * Seed of the cache-private replacement Rng stream (used by the
+     * random policy). Derived from config only — never from global
+     * state — so replacement stays bit-reproducible.
+     */
+    std::uint64_t policySeed = 0x9E3779B97F4A7C15ull;
 };
 
 /** Outcome classification of a cache access. */
@@ -81,8 +83,9 @@ struct Writeback
 };
 
 /**
- * Sectored set-associative cache with LRU replacement and MSHR-based
- * miss tracking. Addresses are raw byte addresses; the cache never
+ * Sectored set-associative cache with pluggable replacement (per-set
+ * ReplacementPolicy objects, LRU by default) and MSHR-based miss
+ * tracking. Addresses are raw byte addresses; the cache never
  * interprets them beyond index/tag extraction, so physical and
  * partition-local address spaces both work.
  */
@@ -157,8 +160,6 @@ class SectoredCache
     {
         std::uint32_t validMask = 0;
         std::uint32_t dirtyMask = 0;
-        std::uint64_t lruStamp = 0;  //!< recency (LRU) or insertion
-                                     //!< order (FIFO)
         bool pendingFill = false; //!< reserved by an in-flight MSHR
     };
 
@@ -179,6 +180,16 @@ class SectoredCache
     std::uint32_t sectorMaskFor(Addr addr, std::uint32_t bytes) const;
     std::size_t findWay(Addr block_addr) const;
     std::size_t victimWay(Addr block_addr, Writeback &wb);
+    /** The replacement policy owning line @p way's set. */
+    ReplacementPolicy &policyFor(std::size_t way)
+    {
+        return *setPolicies[way / config.assoc];
+    }
+    /** Set-local way index of global line index @p way. */
+    std::uint32_t localWay(std::size_t way) const
+    {
+        return static_cast<std::uint32_t>(way % config.assoc);
+    }
 
     bool lineValid(std::size_t way) const { return tags[way] != 0; }
     Addr lineTag(std::size_t way) const { return tags[way] & ~Addr{1}; }
@@ -197,8 +208,10 @@ class SectoredCache
     /** Sectors written while their block's fill is still in flight. */
     FlatMap<std::uint32_t> pendingWriteMask;
     Writeback pendingInsertWb;
-    std::uint64_t lruClock = 0;
-    std::uint64_t randomState = 0x9E3779B97F4A7C15ull;
+    /** Cache-private replacement stream (random policy); seeded from
+     *  CacheParams::policySeed, shared by all of this cache's sets. */
+    Rng replacementRng;
+    std::vector<std::unique_ptr<ReplacementPolicy>> setPolicies;
 
     stats::StatGroup statGroup;
     stats::Scalar statAccesses;

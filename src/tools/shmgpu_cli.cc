@@ -25,9 +25,12 @@
  *
  *   shmgpu sweep [--workloads a,b,c] [--schemes X,Y] [--jobs N]
  *                [--cycles N] [--out results.json]
+ *                [--policy P | --policies P,Q|all]
  *       Run a (scheme x workload) grid on a worker pool and emit the
  *       structured JSON results sink. Output is bit-identical for any
- *       --jobs value.
+ *       --jobs value. --policies adds the cache replacement policy
+ *       (L2 + metadata caches) as a third, policy-major grid axis,
+ *       with a fresh baseline per policy.
  */
 
 #include <chrono>
@@ -46,6 +49,7 @@
 #include "core/sweep.hh"
 #include "gpu/presets.hh"
 #include "gpu/simulator.hh"
+#include "mem/replacement.hh"
 #include "workload/parser.hh"
 #include "workload/trace_file.hh"
 
@@ -96,13 +100,15 @@ usage()
               "  shmgpu list\n"
               "  shmgpu run (--workload NAME | --spec FILE) [--scheme SHM]"
               " [--gpu turing|big|test] [--cycles N] [--shards N]"
+              " [--policy lru|fifo|random|s3fifo|sieve]"
               " [--overrides CFG]"
               " [--stats FILE] [--json FILE] [--accuracy] [--profile]"
               " [--reference-loop]"
               " [--trace OUT.json] [--trace-text OUT.txt]\n"
               "  shmgpu sweep [--workloads a,b,c|all] [--schemes X,Y|all]"
               " [--jobs N] [--gpu turing|big|test] [--cycles N]"
-              " [--shards N] [--overrides CFG] [--out FILE] [--quiet]"
+              " [--shards N] [--policy P] [--policies P,Q|all]"
+              " [--overrides CFG] [--out FILE] [--quiet]"
               " [--trace DIR]\n"
               "  shmgpu trace record --workload NAME --out FILE"
               " [--sms N]\n"
@@ -110,7 +116,7 @@ usage()
               "  shmgpu trace info --in FILE\n"
               "  shmgpu trace-info --in TRACE.json\n"
               "  shmgpu bench-self [--quick] [--cycles N] [--reps N]"
-              " [--gpu turing|big|test] [--shards N]"
+              " [--gpu turing|big|test] [--shards N] [--policy P]"
               " [--out BENCH_hotpath.json]"
               " [--profile] [--reference-loop]");
     return 2;
@@ -139,16 +145,21 @@ cmdList()
     std::printf("  %s\n", schemes::schemeName(schemes::Scheme::Baseline));
     for (auto s : schemes::allSchemes())
         std::printf("  %s\n", schemes::schemeName(s));
+    std::puts("\ncache replacement policies (--policy / cache.policy / "
+              "mee.mdc_policy):");
+    for (auto p : mem::allPolicies())
+        std::printf("  %s\n", mem::policyName(p));
     return 0;
 }
 
 gpu::GpuParams
-gpuParamsFrom(const Args &args, trace::TraceParams *trace_params = nullptr)
+gpuParamsFrom(const Args &args, trace::TraceParams *trace_params = nullptr,
+              mem::PolicyKind *mdc_policy = nullptr)
 {
     gpu::GpuParams gp = gpu::presetByName(args.get("gpu", "turing"));
     std::string overrides = args.get("overrides");
     if (!overrides.empty()) {
-        mee::MeeParams scratch; // GPU keys only in this path
+        mee::MeeParams scratch; // GPU keys (+ mdc policy) in this path
         trace::TraceParams trace_scratch;
         Config config = Config::fromFile(overrides);
         core::applyGpuOverrides(config, gp);
@@ -156,6 +167,17 @@ gpuParamsFrom(const Args &args, trace::TraceParams *trace_params = nullptr)
         core::applyTraceOverrides(
             config, trace_params ? *trace_params : trace_scratch);
         config.assertConsumed();
+        if (mdc_policy)
+            *mdc_policy = scratch.mdcPolicy;
+    }
+    // --policy switches L2 and metadata caches together, overriding
+    // any cache.policy / mee.mdc_policy from the file.
+    std::string policy = args.get("policy");
+    if (!policy.empty()) {
+        mem::PolicyKind kind = mem::policyFromName(policy);
+        gpu::applyCachePolicy(gp, kind);
+        if (mdc_policy)
+            *mdc_policy = kind;
     }
     std::string cycles = args.get("cycles");
     if (!cycles.empty())
@@ -194,7 +216,8 @@ cmdRun(const Args &args)
     }
 
     core::RunOptions opts;
-    gpu::GpuParams gp = gpuParamsFrom(args, &opts.traceParams);
+    gpu::GpuParams gp = gpuParamsFrom(args, &opts.traceParams,
+                                      &opts.mdcPolicy);
     core::Experiment exp(gp);
     opts.collectAccuracy = args.has("accuracy");
     opts.tracePath = args.get("trace");
@@ -224,8 +247,9 @@ cmdRun(const Args &args)
 
     // Stats dumps run the simulation once more with a retained tree.
     if (args.has("stats") || args.has("json")) {
-        gpu::GpuSimulator sim(gpuParamsFrom(args),
-                              schemes::makeMeeParams(scheme), w);
+        mee::MeeParams mp = schemes::makeMeeParams(scheme);
+        mp.mdcPolicy = opts.mdcPolicy;
+        gpu::GpuSimulator sim(gpuParamsFrom(args), mp, w);
         sim.run();
         if (args.has("stats")) {
             std::ofstream out(args.get("stats"));
@@ -295,10 +319,29 @@ cmdSweep(const Args &args)
     if (args.has("quiet"))
         log_detail::setVerbose(false);
 
-    gpu::GpuParams gp = gpuParamsFrom(args,
-                                      &sweep_opts.run.traceParams);
-    core::SweepRunner runner(gp);
-    auto results = runner.run(designs, workloads, sweep_opts);
+    gpu::GpuParams gp = gpuParamsFrom(args, &sweep_opts.run.traceParams,
+                                      &sweep_opts.run.mdcPolicy);
+
+    std::vector<core::ExperimentResult> results;
+    std::string policy_list = args.get("policies");
+    if (!policy_list.empty()) {
+        // Policy-major third grid axis; a fresh runner (and baseline)
+        // per policy, since the L2 policy moves the baseline IPC.
+        std::vector<mem::PolicyKind> policies;
+        if (policy_list == "all") {
+            policies = mem::allPolicies();
+        } else {
+            for (const auto &name : splitList(policy_list))
+                policies.push_back(mem::policyFromName(name));
+        }
+        if (policies.empty())
+            shm_fatal("sweep selects no policies");
+        results = core::runPolicyGrid(gp, policies, designs, workloads,
+                                      sweep_opts);
+    } else {
+        core::SweepRunner runner(gp);
+        results = runner.run(designs, workloads, sweep_opts);
+    }
 
     if (!args.has("quiet")) {
         for (const auto &r : results)
@@ -367,6 +410,14 @@ cmdBenchSelf(const Args &args)
     if (args.has("reference-loop"))
         gp.referenceKernelLoop = true;
 
+    core::RunOptions run_opts;
+    std::string policy_name = args.get("policy");
+    if (!policy_name.empty()) {
+        mem::PolicyKind kind = mem::policyFromName(policy_name);
+        gpu::applyCachePolicy(gp, kind);
+        run_opts.mdcPolicy = kind;
+    }
+
     std::vector<const workload::WorkloadSpec *> workloads;
     for (const auto &name : workload_names)
         workloads.push_back(&workload::findWorkload(name));
@@ -385,7 +436,7 @@ cmdBenchSelf(const Args &args)
         auto t0 = clock::now();
         for (const auto *w : workloads)
             for (auto scheme : designs)
-                exp.run(scheme, *w);
+                exp.run(scheme, *w, run_opts);
         double secs = std::chrono::duration<double>(clock::now() - t0)
                           .count();
         rep_seconds.push_back(secs);
@@ -402,6 +453,7 @@ cmdBenchSelf(const Args &args)
     doc["benchmark"] = "bench-self";
     doc["gpu"] = args.get("gpu", "turing");
     doc["kernel_loop"] = gp.referenceKernelLoop ? "reference" : "event";
+    doc["policy"] = mem::policyName(gp.l2Policy);
     doc["shards"] = static_cast<std::uint64_t>(gp.shards);
     doc["max_cycles_per_kernel"] = cycles;
     doc["reps"] = static_cast<std::uint64_t>(reps);

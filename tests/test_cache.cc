@@ -244,7 +244,7 @@ TEST(Cache, FifoIgnoresRecency)
     CacheParams p = smallParams();
     p.assoc = 2;
     p.sizeBytes = 2 * 128;
-    p.replacement = ReplacementPolicy::Fifo;
+    p.policy = PolicyKind::Fifo;
     SectoredCache c(p);
 
     c.fill(0x0000, 0xF);
@@ -262,7 +262,7 @@ TEST(Cache, RandomReplacementIsDeterministicAndValid)
     CacheParams p = smallParams();
     p.assoc = 4;
     p.sizeBytes = 4 * 128;
-    p.replacement = ReplacementPolicy::Random;
+    p.policy = PolicyKind::Random;
     auto run = [&] {
         SectoredCache c(p);
         std::vector<Addr> evicted;
@@ -278,4 +278,50 @@ TEST(Cache, RandomReplacementIsDeterministicAndValid)
     auto b = run();
     EXPECT_EQ(a, b) << "random replacement must be reproducible";
     EXPECT_GE(a.size(), 50u) << "a 4-line cache must evict constantly";
+}
+
+TEST(Cache, RandomStreamIsPerCacheSeeded)
+{
+    // Two caches with different policySeed values must draw different
+    // eviction sequences, and a cache's stream must not be perturbed
+    // by activity in another instance (no global RNG state).
+    CacheParams p = smallParams();
+    p.assoc = 4;
+    p.sizeBytes = 4 * 128;
+    p.policy = PolicyKind::Random;
+
+    auto evictions = [](SectoredCache &c) {
+        std::vector<Addr> out;
+        for (int i = 0; i < 64; ++i) {
+            c.access(static_cast<Addr>(i) * 128, 32, true);
+            auto wb = c.takeInsertWriteback();
+            if (wb.valid)
+                out.push_back(wb.blockAddr);
+        }
+        return out;
+    };
+
+    SectoredCache alone(p);
+    auto baseline = evictions(alone);
+
+    // Interleave two instances; each must reproduce its solo sequence.
+    SectoredCache a(p);
+    CacheParams q = p;
+    q.policySeed = 0x12345678ull;
+    SectoredCache b(q);
+    std::vector<Addr> ev_a;
+    std::vector<Addr> ev_b;
+    for (int i = 0; i < 64; ++i) {
+        a.access(static_cast<Addr>(i) * 128, 32, true);
+        auto wa = a.takeInsertWriteback();
+        if (wa.valid)
+            ev_a.push_back(wa.blockAddr);
+        b.access(static_cast<Addr>(i) * 128, 32, true);
+        auto wb = b.takeInsertWriteback();
+        if (wb.valid)
+            ev_b.push_back(wb.blockAddr);
+    }
+    EXPECT_EQ(ev_a, baseline)
+        << "interleaved instance perturbed the stream: global state?";
+    EXPECT_NE(ev_b, baseline) << "policySeed must select the stream";
 }

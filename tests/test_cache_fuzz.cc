@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <iterator>
 #include <map>
 #include <set>
@@ -32,20 +33,22 @@ struct FuzzConfig
 } // namespace
 
 class CacheFuzz
-    : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned,
-                                                 bool, std::uint64_t>>
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, unsigned, bool, std::uint64_t,
+                     PolicyKind>>
 {
 };
 
 TEST_P(CacheFuzz, ConservationInvariants)
 {
-    auto [size, assoc, rmw, seed] = GetParam();
+    auto [size, assoc, rmw, seed, policy] = GetParam();
     CacheParams p;
     p.name = "fuzz";
     p.sizeBytes = size;
     p.assoc = assoc;
     p.mshrs = 16;
     p.fetchOnWriteMiss = rmw;
+    p.policy = policy;
     SectoredCache cache(p);
     Rng rng(seed);
 
@@ -120,11 +123,19 @@ TEST_P(CacheFuzz, ConservationInvariants)
 INSTANTIATE_TEST_SUITE_P(
     Mixes, CacheFuzz,
     ::testing::Values(
-        std::make_tuple(2048ull, 4u, false, 1ull),
-        std::make_tuple(2048ull, 4u, true, 2ull),
-        std::make_tuple(4096ull, 2u, false, 3ull),
-        std::make_tuple(16384ull, 16u, false, 4ull),
-        std::make_tuple(128ull, 1u, false, 5ull)));
+        std::make_tuple(2048ull, 4u, false, 1ull, PolicyKind::Lru),
+        std::make_tuple(2048ull, 4u, true, 2ull, PolicyKind::Lru),
+        std::make_tuple(4096ull, 2u, false, 3ull, PolicyKind::Lru),
+        std::make_tuple(16384ull, 16u, false, 4ull, PolicyKind::Lru),
+        std::make_tuple(128ull, 1u, false, 5ull, PolicyKind::Lru),
+        std::make_tuple(2048ull, 4u, false, 6ull, PolicyKind::S3Fifo),
+        std::make_tuple(16384ull, 16u, false, 7ull, PolicyKind::S3Fifo),
+        std::make_tuple(128ull, 1u, true, 8ull, PolicyKind::S3Fifo),
+        std::make_tuple(2048ull, 4u, false, 9ull, PolicyKind::Sieve),
+        std::make_tuple(16384ull, 16u, true, 10ull, PolicyKind::Sieve),
+        std::make_tuple(128ull, 1u, false, 11ull, PolicyKind::Sieve),
+        std::make_tuple(4096ull, 2u, false, 12ull, PolicyKind::Fifo),
+        std::make_tuple(4096ull, 2u, false, 13ull, PolicyKind::Random)));
 
 // ---------------------------------------------------------------------
 // Differential property test: SectoredCache (shift/mask indexing, flat
@@ -140,16 +151,20 @@ namespace
 /**
  * Deliberately naive sectored cache with the documented semantics of
  * SectoredCache: div/mod indexing, per-set line vectors, ordered maps
- * for MSHRs. Shares no code with the real implementation.
+ * for MSHRs, and tag-keyed (not way-keyed) replacement bookkeeping for
+ * the queue policies. Shares no code with the real implementation.
  */
 class RefCache
 {
   public:
-    explicit RefCache(const CacheParams &params) : p(params)
+    explicit RefCache(const CacheParams &params)
+        : p(params), rrng(params.policySeed)
     {
         sectorsPerBlock = p.blockBytes / p.sectorBytes;
         numSets = p.sizeBytes / p.blockBytes / p.assoc;
         sets.resize(numSets, std::vector<RefLine>(p.assoc));
+        s3.resize(numSets);
+        sieve.resize(numSets);
     }
 
     CacheAccessResult
@@ -160,8 +175,7 @@ class RefCache
         RefLine *line = lookup(block);
 
         if (line && (line->validMask & want) == want) {
-            if (p.replacement == ReplacementPolicy::Lru)
-                line->stamp = ++clock;
+            onHit(block, line);
             if (is_write)
                 line->dirtyMask |= want;
             return {CacheOutcome::Hit, 0};
@@ -177,7 +191,7 @@ class RefCache
             }
             line->validMask |= want;
             line->dirtyMask |= want;
-            line->stamp = ++clock;
+            onInstall(block, line);
             return {CacheOutcome::WriteNoFetch, 0};
         }
 
@@ -216,7 +230,7 @@ class RefCache
             line = victim(block, wb);
         line->validMask |= sector_mask;
         line->pendingFill = false;
-        line->stamp = ++clock;
+        onInstall(block, line);
         auto pw = pendingWrites.find(block);
         if (pw != pendingWrites.end()) {
             line->validMask |= pw->second;
@@ -256,7 +270,7 @@ class RefCache
             line = victim(block, wb);
         line->validMask |= valid_mask;
         line->dirtyMask |= dirty_mask;
-        line->stamp = ++clock;
+        onInstall(block, line);
         return wb;
     }
 
@@ -272,6 +286,7 @@ class RefCache
                 wb.blockAddr = block;
                 wb.dirtyMask = line->dirtyMask;
             }
+            onEvict(block);
             *line = RefLine{};
         }
         return wb;
@@ -344,33 +359,38 @@ class RefCache
     RefLine *
     victim(Addr block, Writeback &wb)
     {
-        auto &set = sets[block / p.blockBytes % numSets];
+        std::uint64_t si = block / p.blockBytes % numSets;
+        auto &set = sets[si];
         RefLine *pick = nullptr;
-        if (p.replacement == ReplacementPolicy::Random) {
-            for (auto &line : set) {
-                if (!line.valid) {
-                    pick = &line;
-                    break;
-                }
+        // Invalid ways first, regardless of policy.
+        for (auto &line : set) {
+            if (!line.valid) {
+                pick = &line;
+                break;
             }
-            if (!pick) {
-                rstate ^= rstate << 13;
-                rstate ^= rstate >> 7;
-                rstate ^= rstate << 17;
-                pick = &set[rstate % p.assoc];
-            }
-        } else {
-            for (auto &line : set) {
-                if (!line.valid) {
-                    pick = &line;
-                    break;
+        }
+        if (!pick) {
+            switch (p.policy) {
+              case PolicyKind::Random:
+                pick = &set[rrng.below(p.assoc)];
+                break;
+              case PolicyKind::S3Fifo:
+                pick = findByTag(set, s3Victim(si));
+                break;
+              case PolicyKind::Sieve:
+                pick = findByTag(set, sieveVictim(si));
+                break;
+              case PolicyKind::Lru:
+              case PolicyKind::Fifo:
+                for (auto &line : set) {
+                    if (!pick ||
+                        (pick->pendingFill && !line.pendingFill) ||
+                        (pick->pendingFill == line.pendingFill &&
+                         line.stamp < pick->stamp)) {
+                        pick = &line;
+                    }
                 }
-                if (!pick ||
-                    (pick->pendingFill && !line.pendingFill) ||
-                    (pick->pendingFill == line.pendingFill &&
-                     line.stamp < pick->stamp)) {
-                    pick = &line;
-                }
+                break;
             }
         }
         if (pick->valid && pick->dirtyMask) {
@@ -386,15 +406,219 @@ class RefCache
         return pick;
     }
 
+    // --- tag-keyed policy models ------------------------------------
+
+    /** S3FIFO state for one set, keyed by block address. */
+    struct S3Set
+    {
+        std::vector<Addr> small; //!< front = oldest
+        std::vector<Addr> main;  //!< front = oldest
+        std::map<Addr, int> freq;
+        std::vector<Addr> ghost; //!< front = oldest
+    };
+
+    /** SIEVE state for one set, keyed by block address. */
+    struct SieveSet
+    {
+        std::vector<Addr> order; //!< front = oldest (tail side)
+        std::map<Addr, bool> visited;
+        Addr hand = 0;
+        bool handValid = false;
+    };
+
+    static void
+    dropTag(std::vector<Addr> &v, Addr tag)
+    {
+        for (auto it = v.begin(); it != v.end(); ++it) {
+            if (*it == tag) {
+                v.erase(it);
+                return;
+            }
+        }
+    }
+
+    static bool
+    hasTag(const std::vector<Addr> &v, Addr tag)
+    {
+        for (Addr a : v)
+            if (a == tag)
+                return true;
+        return false;
+    }
+
+    static RefLine *
+    findByTag(std::vector<RefLine> &set, Addr tag)
+    {
+        for (auto &line : set)
+            if (line.valid && line.tag == tag)
+                return &line;
+        ADD_FAILURE() << "policy model evicted an untracked tag";
+        return &set.front();
+    }
+
+    void
+    onHit(Addr block, RefLine *line)
+    {
+        std::uint64_t si = block / p.blockBytes % numSets;
+        switch (p.policy) {
+          case PolicyKind::Lru:
+            line->stamp = ++clock;
+            break;
+          case PolicyKind::S3Fifo: {
+            int &f = s3[si].freq[block];
+            f = std::min(f + 1, 3);
+            break;
+          }
+          case PolicyKind::Sieve:
+            sieve[si].visited[block] = true;
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    onInstall(Addr block, RefLine *line)
+    {
+        std::uint64_t si = block / p.blockBytes % numSets;
+        line->stamp = ++clock;
+        if (p.policy == PolicyKind::S3Fifo) {
+            S3Set &s = s3[si];
+            if (s.freq.count(block)) {
+                // Refresh of a tracked block counts as a reference.
+                s.freq[block] = std::min(s.freq[block] + 1, 3);
+                return;
+            }
+            s.freq[block] = 0;
+            if (hasTag(s.ghost, block)) {
+                dropTag(s.ghost, block);
+                s.main.push_back(block);
+            } else {
+                s.small.push_back(block);
+            }
+        } else if (p.policy == PolicyKind::Sieve) {
+            SieveSet &s = sieve[si];
+            if (s.visited.count(block)) {
+                s.visited[block] = true;
+                return;
+            }
+            s.order.push_back(block);
+            s.visited[block] = false;
+        }
+    }
+
+    void
+    onEvict(Addr block)
+    {
+        std::uint64_t si = block / p.blockBytes % numSets;
+        if (p.policy == PolicyKind::S3Fifo) {
+            S3Set &s = s3[si];
+            dropTag(s.small, block);
+            dropTag(s.main, block);
+            s.freq.erase(block);
+        } else if (p.policy == PolicyKind::Sieve) {
+            SieveSet &s = sieve[si];
+            if (s.handValid && s.hand == block)
+                advanceHandPast(s, block);
+            dropTag(s.order, block);
+            s.visited.erase(block);
+        }
+    }
+
+    /** Move the hand to @p block's next-newer neighbour (or park it). */
+    void
+    advanceHandPast(SieveSet &s, Addr block)
+    {
+        for (std::size_t i = 0; i < s.order.size(); ++i) {
+            if (s.order[i] == block) {
+                if (i + 1 < s.order.size()) {
+                    s.hand = s.order[i + 1];
+                    s.handValid = true;
+                } else {
+                    s.handValid = false;
+                }
+                return;
+            }
+        }
+        s.handValid = false;
+    }
+
+    Addr
+    s3Victim(std::uint64_t si)
+    {
+        S3Set &s = s3[si];
+        std::size_t small_target =
+            std::max<std::size_t>(1, p.assoc / 8);
+        while (true) {
+            if (!s.small.empty() &&
+                (s.small.size() >= small_target || s.main.empty())) {
+                Addr tag = s.small.front();
+                s.small.erase(s.small.begin());
+                if (s.freq[tag] > 0) {
+                    s.main.push_back(tag);
+                    s.freq[tag] = 0;
+                    continue;
+                }
+                s.freq.erase(tag);
+                // Remember in the ghost FIFO (capacity = assoc).
+                if (hasTag(s.ghost, tag)) {
+                    dropTag(s.ghost, tag);
+                } else if (s.ghost.size() >= p.assoc) {
+                    s.ghost.erase(s.ghost.begin());
+                }
+                s.ghost.push_back(tag);
+                return tag;
+            }
+            Addr tag = s.main.front();
+            s.main.erase(s.main.begin());
+            if (s.freq[tag] > 0) {
+                --s.freq[tag];
+                s.main.push_back(tag);
+                continue;
+            }
+            s.freq.erase(tag);
+            return tag;
+        }
+    }
+
+    Addr
+    sieveVictim(std::uint64_t si)
+    {
+        SieveSet &s = sieve[si];
+        std::size_t i = 0;
+        if (s.handValid) {
+            while (i < s.order.size() && s.order[i] != s.hand)
+                ++i;
+            if (i == s.order.size())
+                i = 0;
+        }
+        while (s.visited[s.order[i]]) {
+            s.visited[s.order[i]] = false;
+            i = i + 1 < s.order.size() ? i + 1 : 0;
+        }
+        Addr tag = s.order[i];
+        if (i + 1 < s.order.size()) {
+            s.hand = s.order[i + 1];
+            s.handValid = true;
+        } else {
+            s.handValid = false;
+        }
+        s.order.erase(s.order.begin() + static_cast<std::ptrdiff_t>(i));
+        s.visited.erase(tag);
+        return tag;
+    }
+
     CacheParams p;
     std::uint32_t sectorsPerBlock;
     std::uint64_t numSets;
     std::vector<std::vector<RefLine>> sets;
+    std::vector<S3Set> s3;
+    std::vector<SieveSet> sieve;
     std::map<Addr, RefMshr> mshrs;
     std::map<Addr, std::uint32_t> pendingWrites;
     Writeback pendingInsertWb;
     std::uint64_t clock = 0;
-    std::uint64_t rstate = 0x9E3779B97F4A7C15ull;
+    Rng rrng;
 };
 
 void
@@ -412,7 +636,7 @@ expectSameWriteback(const Writeback &real, const Writeback &ref,
 
 class CacheDifferential
     : public ::testing::TestWithParam<
-          std::tuple<ReplacementPolicy, bool, bool, std::uint64_t>>
+          std::tuple<PolicyKind, bool, bool, std::uint64_t>>
 {
 };
 
@@ -427,7 +651,7 @@ TEST_P(CacheDifferential, MatchesNaiveReferenceModel)
     p.mshrMergeMax = 4;
     p.writeAllocate = write_allocate;
     p.fetchOnWriteMiss = rmw;
-    p.replacement = policy;
+    p.policy = policy;
 
     SectoredCache cache(p);
     RefCache ref(p);
@@ -516,9 +740,18 @@ TEST_P(CacheDifferential, MatchesNaiveReferenceModel)
 INSTANTIATE_TEST_SUITE_P(
     Policies, CacheDifferential,
     ::testing::Values(
-        std::make_tuple(ReplacementPolicy::Lru, true, false, 11ull),
-        std::make_tuple(ReplacementPolicy::Lru, false, false, 12ull),
-        std::make_tuple(ReplacementPolicy::Lru, true, true, 13ull),
-        std::make_tuple(ReplacementPolicy::Fifo, true, false, 14ull),
-        std::make_tuple(ReplacementPolicy::Random, true, false, 15ull),
-        std::make_tuple(ReplacementPolicy::Random, true, true, 16ull)));
+        std::make_tuple(PolicyKind::Lru, true, false, 11ull),
+        std::make_tuple(PolicyKind::Lru, false, false, 12ull),
+        std::make_tuple(PolicyKind::Lru, true, true, 13ull),
+        std::make_tuple(PolicyKind::Fifo, true, false, 14ull),
+        std::make_tuple(PolicyKind::Fifo, false, false, 24ull),
+        std::make_tuple(PolicyKind::Fifo, true, true, 25ull),
+        std::make_tuple(PolicyKind::Random, true, false, 15ull),
+        std::make_tuple(PolicyKind::Random, false, false, 26ull),
+        std::make_tuple(PolicyKind::Random, true, true, 16ull),
+        std::make_tuple(PolicyKind::S3Fifo, true, false, 17ull),
+        std::make_tuple(PolicyKind::S3Fifo, false, false, 18ull),
+        std::make_tuple(PolicyKind::S3Fifo, true, true, 19ull),
+        std::make_tuple(PolicyKind::Sieve, true, false, 20ull),
+        std::make_tuple(PolicyKind::Sieve, false, false, 21ull),
+        std::make_tuple(PolicyKind::Sieve, true, true, 22ull)));

@@ -9,6 +9,7 @@
 
 #include "common/config.hh"
 #include "core/overrides.hh"
+#include "mem/replacement.hh"
 
 using namespace shmgpu;
 
@@ -89,6 +90,51 @@ mee.static_space_hints = true
     EXPECT_EQ(mp.streamDetector.chunkBytes, 2048u);
     EXPECT_EQ(mp.macBytes, 4u);
     EXPECT_TRUE(mp.staticSpaceHints);
+}
+
+TEST(Overrides, ReplacementPolicyKeys)
+{
+    Config c = parse(R"(
+cache.policy   = sieve
+mee.mdc_policy = s3fifo
+)");
+    gpu::GpuParams gp;
+    mee::MeeParams mp;
+    core::applyGpuOverrides(c, gp);
+    core::applyMeeOverrides(c, mp);
+    c.assertConsumed();
+    EXPECT_EQ(gp.l2Policy, mem::PolicyKind::Sieve);
+    EXPECT_EQ(mp.mdcPolicy, mem::PolicyKind::S3Fifo);
+
+    // Defaults stay LRU when the keys are absent.
+    Config empty = parse("");
+    gpu::GpuParams gp2;
+    mee::MeeParams mp2;
+    core::applyGpuOverrides(empty, gp2);
+    core::applyMeeOverrides(empty, mp2);
+    EXPECT_EQ(gp2.l2Policy, mem::PolicyKind::Lru);
+    EXPECT_EQ(mp2.mdcPolicy, mem::PolicyKind::Lru);
+}
+
+TEST(Overrides, UnknownPolicyNamesTheValidSet)
+{
+    // The config error must spell out the accepted strings; spelling
+    // is case-sensitive like the scheme registry.
+    EXPECT_DEATH(
+        {
+            Config c = parse("cache.policy = clock\n");
+            gpu::GpuParams gp;
+            core::applyGpuOverrides(c, gp);
+        },
+        "unknown replacement policy 'clock' \\(expected one of: "
+        "lru, fifo, random, s3fifo, sieve\\)");
+    EXPECT_DEATH(
+        {
+            Config c = parse("mee.mdc_policy = LRU\n");
+            mee::MeeParams mp;
+            core::applyMeeOverrides(c, mp);
+        },
+        "unknown replacement policy 'LRU'");
 }
 
 TEST(Overrides, MdcBytesSetsAllThreeCaches)

@@ -20,6 +20,7 @@
 #include <functional>
 
 #include "core/sweep.hh"
+#include "mem/replacement.hh"
 
 using namespace shmgpu;
 using namespace shmgpu::core;
@@ -37,6 +38,12 @@ std::string
 goldenPath()
 {
     return std::string(SHMGPU_GOLDEN_DIR) + "/golden_metrics.json";
+}
+
+std::string
+goldenPoliciesPath()
+{
+    return std::string(SHMGPU_GOLDEN_DIR) + "/golden_policies.json";
 }
 
 /**
@@ -65,7 +72,8 @@ runPinnedGrid(const std::function<void(gpu::GpuParams &)> &mutate = {})
 }
 
 json::Value
-goldenFromResults(const std::vector<ExperimentResult> &results)
+goldenFromResults(const std::vector<ExperimentResult> &results,
+                  bool with_policy = false)
 {
     json::Value doc = json::Value::object();
     doc["comment"] = json::Value(
@@ -77,6 +85,8 @@ goldenFromResults(const std::vector<ExperimentResult> &results)
         json::Value cell = json::Value::object();
         cell["workload"] = json::Value(r.workload);
         cell["scheme"] = json::Value(r.scheme);
+        if (with_policy)
+            cell["policy"] = json::Value(r.l2Policy);
         cell["normalizedIpc"] = json::Value(r.normalizedIpc);
         cell["overhead"] = json::Value(r.overhead());
         cell["normalizedEnergyPerInstr"] =
@@ -98,12 +108,14 @@ updateRequested()
            std::string(env) != "0";
 }
 
-/** Compare a grid's metrics against the committed golden file. */
+/** Compare a grid's metrics against a committed golden file. */
 void
-expectMatchesGolden(const std::vector<ExperimentResult> &results)
+expectMatchesGoldenFile(const std::vector<ExperimentResult> &results,
+                        const std::string &path,
+                        bool with_policy = false)
 {
-    json::Value current = goldenFromResults(results);
-    json::Value golden = json::Value::parseFile(goldenPath());
+    json::Value current = goldenFromResults(results, with_policy);
+    json::Value golden = json::Value::parseFile(path);
     const auto &want = golden.at("cells");
     const auto &got = current.at("cells");
     ASSERT_EQ(got.size(), want.size())
@@ -113,10 +125,15 @@ expectMatchesGolden(const std::vector<ExperimentResult> &results)
         const auto &w = want.at(i);
         const auto &g = got.at(i);
         SCOPED_TRACE(w.at("workload").asString() + "/" +
-                     w.at("scheme").asString());
+                     w.at("scheme").asString() +
+                     (with_policy ? "/" + w.at("policy").asString()
+                                  : std::string()));
         ASSERT_EQ(g.at("workload").asString(),
                   w.at("workload").asString());
         ASSERT_EQ(g.at("scheme").asString(), w.at("scheme").asString());
+        if (with_policy)
+            ASSERT_EQ(g.at("policy").asString(),
+                      w.at("policy").asString());
         for (const char *metric :
              {"normalizedIpc", "overhead", "normalizedEnergyPerInstr",
               "metadataOverhead", "baselineIpc"}) {
@@ -126,6 +143,35 @@ expectMatchesGolden(const std::vector<ExperimentResult> &results)
                 << "regenerate with SHMGPU_UPDATE_GOLDEN=1";
         }
     }
+}
+
+void
+expectMatchesGolden(const std::vector<ExperimentResult> &results)
+{
+    expectMatchesGoldenFile(results, goldenPath());
+}
+
+/**
+ * The pinned policy grid: the scan-resistant policies (SIEVE and
+ * S3FIFO on both the L2 banks and the MDCs) over a 2x2 scheme x
+ * workload corner. Pinning these keeps the *non-default* policies
+ * from drifting silently — golden_metrics.json only guards LRU.
+ */
+std::vector<ExperimentResult>
+runPolicyPinnedGrid(const std::function<void(gpu::GpuParams &)>
+                        &mutate = {})
+{
+    gpu::GpuParams params;
+    params.maxCyclesPerKernel = 20000;
+    if (mutate)
+        mutate(params);
+
+    workload::WorkloadSpec stream = workload::makeStreamingMicro();
+    workload::WorkloadSpec mixed = workload::makeMixedMicro();
+    return runPolicyGrid(
+        params, {mem::PolicyKind::Sieve, mem::PolicyKind::S3Fifo},
+        {schemes::Scheme::Naive, schemes::Scheme::Shm},
+        {&stream, &mixed}, {});
 }
 
 } // namespace
@@ -161,6 +207,33 @@ TEST(GoldenMetrics, ReferenceLoopGridMatchesGoldenFile)
     // loops simulate the same machine.
     expectMatchesGolden(runPinnedGrid(
         [](gpu::GpuParams &p) { p.referenceKernelLoop = true; }));
+}
+
+TEST(GoldenMetrics, PolicyGridMatchesGoldenFile)
+{
+    auto results = runPolicyPinnedGrid();
+
+    if (updateRequested()) {
+        json::Value current = goldenFromResults(results, true);
+        std::ofstream os(goldenPoliciesPath(), std::ios::binary);
+        ASSERT_TRUE(os) << "cannot write " << goldenPoliciesPath();
+        current.write(os, 2);
+        os << "\n";
+        GTEST_SKIP() << "golden file regenerated at "
+                     << goldenPoliciesPath();
+    }
+
+    expectMatchesGoldenFile(results, goldenPoliciesPath(), true);
+}
+
+TEST(GoldenMetrics, PolicyGridShardedMatchesGoldenFile)
+{
+    // Replacement decisions are position-seeded, never thread-seeded,
+    // so the sharded engine must reproduce the pinned SIEVE/S3FIFO
+    // numbers bit for bit too.
+    expectMatchesGoldenFile(
+        runPolicyPinnedGrid([](gpu::GpuParams &p) { p.shards = 4; }),
+        goldenPoliciesPath(), true);
 }
 
 TEST(GoldenMetrics, GoldenFileIsSelfConsistent)

@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Model-differential fuzz for mem::ReplacementPolicy.
+ *
+ * Each policy object is driven directly (no SectoredCache in the
+ * loop) against an independent naive reference model keyed by block
+ * address instead of way index. The driver generates randomized
+ * access strings honoring the cache<->policy contract — installs into
+ * the first invalid way, victim() only with every way valid, onEvict
+ * tombstones followed by reuse of the freed way — and checks that the
+ * policy and the model evict the same block at every decision point.
+ *
+ * The reference models are deliberately naive (std::map state, linear
+ * scans, queues of block addresses) so a bookkeeping bug in the real
+ * way-indexed structures (S3FIFO's queue threading, SIEVE's hand
+ * repair on external invalidation) cannot be mirrored by construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/replacement.hh"
+
+using namespace shmgpu;
+using mem::PolicyKind;
+using mem::ReplacementPolicy;
+
+namespace
+{
+
+constexpr std::uint64_t testSeed = 0xA5A5F00Dull;
+
+/** Stamp-order reference shared by LRU and FIFO: a block list in
+ *  stamp order (front = oldest). onInsert always refreshes (matching
+ *  StampPolicy), onHit refreshes only under LRU. */
+class RefStamp
+{
+  public:
+    RefStamp(bool refresh_on_hit) : refreshOnHit(refresh_on_hit) {}
+
+    void
+    onHit(Addr block)
+    {
+        if (refreshOnHit)
+            touch(block);
+    }
+
+    void onInsert(Addr block) { touch(block); }
+
+    Addr
+    victim(const std::vector<Addr> &pending_blocks)
+    {
+        for (Addr block : order) {
+            if (std::find(pending_blocks.begin(), pending_blocks.end(),
+                          block) == pending_blocks.end()) {
+                drop(block);
+                return block;
+            }
+        }
+        Addr block = order.front();
+        drop(block);
+        return block;
+    }
+
+    void onEvict(Addr block) { drop(block); }
+
+  private:
+    void
+    touch(Addr block)
+    {
+        drop(block);
+        order.push_back(block);
+    }
+
+    void
+    drop(Addr block)
+    {
+        auto it = std::find(order.begin(), order.end(), block);
+        if (it != order.end())
+            order.erase(it);
+    }
+
+    std::vector<Addr> order; //!< front = oldest stamp
+    bool refreshOnHit;
+};
+
+/** S3FIFO reference keyed by block address. */
+class RefS3Fifo
+{
+  public:
+    explicit RefS3Fifo(std::uint32_t assoc)
+        : smallTarget(std::max(1u, assoc / 8)), ghostCap(assoc)
+    {
+    }
+
+    void
+    onHit(Addr block)
+    {
+        freq[block] = std::min(freq[block] + 1, 3);
+    }
+
+    void
+    onInsert(Addr block, bool tracked)
+    {
+        if (tracked) {
+            freq[block] = std::min(freq[block] + 1, 3);
+            return;
+        }
+        freq[block] = 0;
+        if (inGhost(block)) {
+            ghost.erase(std::find(ghost.begin(), ghost.end(), block));
+            mainQ.push_back(block);
+        } else {
+            smallQ.push_back(block);
+        }
+    }
+
+    Addr
+    victim()
+    {
+        while (true) {
+            if (!smallQ.empty() &&
+                (smallQ.size() >= smallTarget || mainQ.empty())) {
+                Addr block = smallQ.front();
+                smallQ.erase(smallQ.begin());
+                if (freq[block] > 0) {
+                    freq[block] = 0;
+                    mainQ.push_back(block);
+                    continue;
+                }
+                remember(block);
+                freq.erase(block);
+                return block;
+            }
+            Addr block = mainQ.front();
+            mainQ.erase(mainQ.begin());
+            if (freq[block] > 0) {
+                --freq[block];
+                mainQ.push_back(block);
+                continue;
+            }
+            freq.erase(block);
+            return block;
+        }
+    }
+
+    void
+    onEvict(Addr block)
+    {
+        auto drop = [block](std::vector<Addr> &q) {
+            auto it = std::find(q.begin(), q.end(), block);
+            if (it != q.end())
+                q.erase(it);
+        };
+        drop(smallQ);
+        drop(mainQ);
+        freq.erase(block);
+    }
+
+  private:
+    bool
+    inGhost(Addr block) const
+    {
+        return std::find(ghost.begin(), ghost.end(), block) !=
+               ghost.end();
+    }
+
+    void
+    remember(Addr block)
+    {
+        auto it = std::find(ghost.begin(), ghost.end(), block);
+        if (it != ghost.end())
+            ghost.erase(it);
+        else if (ghost.size() >= ghostCap)
+            ghost.erase(ghost.begin());
+        ghost.push_back(block);
+    }
+
+    std::vector<Addr> smallQ; //!< front = oldest
+    std::vector<Addr> mainQ;  //!< front = oldest
+    std::vector<Addr> ghost;  //!< front = oldest remembered eviction
+    std::map<Addr, int> freq;
+    std::size_t smallTarget;
+    std::size_t ghostCap;
+};
+
+/** SIEVE reference: one block list oldest-first, a visited flag per
+ *  block, and the hand stored as a block address. */
+class RefSieve
+{
+  public:
+    void
+    onHit(Addr block)
+    {
+        visited[block] = true;
+    }
+
+    void
+    onInsert(Addr block, bool tracked)
+    {
+        if (tracked) {
+            visited[block] = true;
+            return;
+        }
+        order.push_back(block);
+        visited[block] = false;
+    }
+
+    Addr
+    victim()
+    {
+        std::size_t i = handValid ? indexOf(hand) : 0;
+        while (visited[order[i]]) {
+            visited[order[i]] = false;
+            i = i + 1 < order.size() ? i + 1 : 0;
+        }
+        Addr block = order[i];
+        // The hand rests on the next-newer survivor; past the head it
+        // restarts at the tail (oldest).
+        if (i + 1 < order.size()) {
+            hand = order[i + 1];
+            handValid = true;
+        } else {
+            handValid = false;
+        }
+        drop(block);
+        return block;
+    }
+
+    void
+    onEvict(Addr block)
+    {
+        if (handValid && hand == block) {
+            std::size_t i = indexOf(block);
+            if (i + 1 < order.size())
+                hand = order[i + 1];
+            else
+                handValid = false;
+        }
+        drop(block);
+    }
+
+  private:
+    std::size_t
+    indexOf(Addr block) const
+    {
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            if (order[i] == block)
+                return i;
+        }
+        ADD_FAILURE() << "sieve reference lost block " << block;
+        return 0;
+    }
+
+    void
+    drop(Addr block)
+    {
+        auto it = std::find(order.begin(), order.end(), block);
+        if (it != order.end())
+            order.erase(it);
+        visited.erase(block);
+    }
+
+    std::vector<Addr> order; //!< front = oldest (the tail)
+    std::map<Addr, bool> visited;
+    Addr hand = 0;
+    bool handValid = false;
+};
+
+/**
+ * Drives one policy instance and its reference model through a
+ * randomized access string, checking every victim() decision. Returns
+ * the decision log (victim way per eviction) so callers can compare
+ * reruns for determinism.
+ */
+std::vector<std::uint32_t>
+fuzzPolicy(PolicyKind kind, std::uint32_t assoc, std::uint32_t seed,
+           std::size_t steps)
+{
+    Rng policy_rng(testSeed);
+    Rng reference_rng(testSeed);
+    auto policy = mem::makeReplacementPolicy(kind, assoc, &policy_rng);
+
+    RefStamp ref_stamp(kind == PolicyKind::Lru);
+    RefS3Fifo ref_s3(assoc);
+    RefSieve ref_sieve;
+
+    std::vector<Addr> way_block(assoc, 0);
+    std::vector<bool> way_valid(assoc, false);
+    std::vector<std::uint32_t> decisions;
+
+    std::mt19937 urbg(seed);
+    auto rand_below = [&urbg](std::uint32_t bound) {
+        return static_cast<std::uint32_t>(urbg() % bound);
+    };
+
+    // Small block pool so reuse (including reuse after a tombstone)
+    // is common; blocks are nonzero so Addr 0 never collides with an
+    // empty slot.
+    const std::uint32_t pool = 3 * assoc + 2;
+
+    auto ref_insert = [&](Addr block, bool tracked) {
+        switch (kind) {
+          case PolicyKind::Lru:
+          case PolicyKind::Fifo: ref_stamp.onInsert(block); break;
+          case PolicyKind::Random: break;
+          case PolicyKind::S3Fifo: ref_s3.onInsert(block, tracked); break;
+          case PolicyKind::Sieve: ref_sieve.onInsert(block, tracked); break;
+        }
+    };
+
+    for (std::size_t step = 0; step < steps; ++step) {
+        // Tombstone: external invalidation of a random valid way,
+        // whose slot a later install must be able to reuse.
+        if (rand_below(10) == 0) {
+            std::vector<std::uint32_t> valid_ways;
+            for (std::uint32_t w = 0; w < assoc; ++w) {
+                if (way_valid[w])
+                    valid_ways.push_back(w);
+            }
+            if (!valid_ways.empty()) {
+                std::uint32_t w =
+                    valid_ways[rand_below(static_cast<std::uint32_t>(
+                        valid_ways.size()))];
+                policy->onEvict(w);
+                switch (kind) {
+                  case PolicyKind::Lru:
+                  case PolicyKind::Fifo:
+                    ref_stamp.onEvict(way_block[w]);
+                    break;
+                  case PolicyKind::Random: break;
+                  case PolicyKind::S3Fifo:
+                    ref_s3.onEvict(way_block[w]);
+                    break;
+                  case PolicyKind::Sieve:
+                    ref_sieve.onEvict(way_block[w]);
+                    break;
+                }
+                way_valid[w] = false;
+                continue;
+            }
+        }
+
+        Addr block = 1 + rand_below(pool);
+
+        // Hit or refresh of a resident block.
+        std::uint32_t hit_way = ReplacementPolicy::noWay;
+        for (std::uint32_t w = 0; w < assoc; ++w) {
+            if (way_valid[w] && way_block[w] == block) {
+                hit_way = w;
+                break;
+            }
+        }
+        if (hit_way != ReplacementPolicy::noWay) {
+            if (rand_below(5) == 0) {
+                // Refresh (re-fill / write-validate of a tracked way).
+                policy->onInsert(hit_way, block);
+                ref_insert(block, true);
+            } else {
+                policy->onHit(hit_way);
+                switch (kind) {
+                  case PolicyKind::Lru:
+                  case PolicyKind::Fifo: ref_stamp.onHit(block); break;
+                  case PolicyKind::Random: break;
+                  case PolicyKind::S3Fifo: ref_s3.onHit(block); break;
+                  case PolicyKind::Sieve: ref_sieve.onHit(block); break;
+                }
+            }
+            continue;
+        }
+
+        // Miss: first invalid way in way order, like the cache scan.
+        std::uint32_t target = ReplacementPolicy::noWay;
+        for (std::uint32_t w = 0; w < assoc; ++w) {
+            if (!way_valid[w]) {
+                target = w;
+                break;
+            }
+        }
+
+        if (target == ReplacementPolicy::noWay) {
+            // All ways valid: consult the policy. LRU/FIFO get a
+            // random pending-fill mask to exercise the tie-break; the
+            // scan-resistant policies must ignore it.
+            std::uint64_t pending = 0;
+            if (assoc > 1 && rand_below(3) == 0)
+                pending = urbg() & ((1ull << assoc) - 1);
+            std::vector<Addr> pending_blocks;
+            for (std::uint32_t w = 0; w < assoc; ++w) {
+                if ((pending >> w) & 1)
+                    pending_blocks.push_back(way_block[w]);
+            }
+
+            std::uint32_t way = policy->victim(pending);
+            EXPECT_LT(way, assoc);
+            EXPECT_TRUE(way < assoc && way_valid[way]);
+            if (way >= assoc || !way_valid[way])
+                return decisions; // state diverged; stop this string
+            decisions.push_back(way);
+
+            switch (kind) {
+              case PolicyKind::Lru:
+              case PolicyKind::Fifo:
+                EXPECT_EQ(way_block[way],
+                          ref_stamp.victim(pending_blocks))
+                    << "policy=" << mem::policyName(kind)
+                    << " assoc=" << assoc << " step=" << step;
+                break;
+              case PolicyKind::Random:
+                EXPECT_EQ(way, static_cast<std::uint32_t>(
+                                   reference_rng.below(assoc)))
+                    << "assoc=" << assoc << " step=" << step;
+                break;
+              case PolicyKind::S3Fifo:
+                EXPECT_EQ(way_block[way], ref_s3.victim())
+                    << "assoc=" << assoc << " step=" << step;
+                break;
+              case PolicyKind::Sieve:
+                EXPECT_EQ(way_block[way], ref_sieve.victim())
+                    << "assoc=" << assoc << " step=" << step;
+                break;
+            }
+            target = way;
+            way_valid[target] = false;
+        }
+
+        policy->onInsert(target, block);
+        ref_insert(block, false);
+        way_valid[target] = true;
+        way_block[target] = block;
+    }
+    return decisions;
+}
+
+class PolicyFuzz
+    : public testing::TestWithParam<
+          std::tuple<PolicyKind, std::uint32_t, std::uint32_t>>
+{
+};
+
+TEST_P(PolicyFuzz, MatchesNaiveModel)
+{
+    auto [kind, assoc, seed] = GetParam();
+    fuzzPolicy(kind, assoc, seed, 4000);
+}
+
+TEST_P(PolicyFuzz, DeterministicAcrossReruns)
+{
+    auto [kind, assoc, seed] = GetParam();
+    auto first = fuzzPolicy(kind, assoc, seed, 1500);
+    auto second = fuzzPolicy(kind, assoc, seed, 1500);
+    EXPECT_EQ(first, second);
+}
+
+std::string
+policyFuzzName(const testing::TestParamInfo<PolicyFuzz::ParamType> &info)
+{
+    return std::string(mem::policyName(std::get<0>(info.param))) +
+           "_a" + std::to_string(std::get<1>(info.param)) + "_s" +
+           std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyFuzz,
+    testing::Combine(testing::Values(PolicyKind::Lru, PolicyKind::Fifo,
+                                     PolicyKind::Random,
+                                     PolicyKind::S3Fifo,
+                                     PolicyKind::Sieve),
+                     // Single-way sets are a degenerate corner every
+                     // policy must survive (victim() == way 0 always);
+                     // 4 matches the MDCs, 16 the L2 banks.
+                     testing::Values(1u, 4u, 16u),
+                     testing::Values(1u, 2u, 3u)),
+    policyFuzzName);
+
+TEST(ReplacementPolicy, SingleWayVictimIsAlwaysWayZero)
+{
+    for (PolicyKind kind : mem::allPolicies()) {
+        Rng rng(testSeed);
+        auto policy = mem::makeReplacementPolicy(kind, 1, &rng);
+        policy->onInsert(0, 0x40);
+        for (int i = 0; i < 8; ++i) {
+            EXPECT_EQ(policy->victim(0), 0u) << mem::policyName(kind);
+            policy->onInsert(0, 0x80 + static_cast<Addr>(i));
+        }
+    }
+}
+
+TEST(ReplacementPolicy, NamesRoundTrip)
+{
+    for (PolicyKind kind : mem::allPolicies()) {
+        PolicyKind parsed;
+        ASSERT_TRUE(mem::tryPolicyFromName(mem::policyName(kind),
+                                           &parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    PolicyKind parsed;
+    EXPECT_FALSE(mem::tryPolicyFromName("clock", &parsed));
+    EXPECT_FALSE(mem::tryPolicyFromName("LRU", &parsed));
+    EXPECT_FALSE(mem::tryPolicyFromName("", &parsed));
+}
+
+} // namespace

@@ -23,6 +23,7 @@
 
 #include "common/rng.hh"
 #include "gpu/presets.hh"
+#include "mem/replacement.hh"
 #include "gpu/simulator.hh"
 #include "schemes/schemes.hh"
 #include "workload/benchmarks.hh"
@@ -226,6 +227,31 @@ TEST(ShardDiff, OneLoadWindowParksEverySm)
         k.maxOutstanding = 1;
     expectIdentical(gp, schemes::makeMeeParams(schemes::Scheme::Shm), w,
                     "window=1 streaming");
+}
+
+TEST(ShardDiff, PolicyVariantsStayIdentical)
+{
+    // Replacement-policy state (S3FIFO queues + ghost table, SIEVE's
+    // hand) lives per cache set, and the Random stream is seeded from
+    // the cache's position, so shard count must not leak into any
+    // replacement decision. ShmVL2 rides along for the victim-cache
+    // extraction path (onEvict tombstones under the stateful
+    // policies).
+    GpuParams gp = shardConfig();
+    auto w = workload::makeMixedMicro();
+    for (mem::PolicyKind policy :
+         {mem::PolicyKind::S3Fifo, mem::PolicyKind::Sieve,
+          mem::PolicyKind::Random}) {
+        gp.l2Policy = policy;
+        for (auto s : {schemes::Scheme::Shm, schemes::Scheme::ShmVL2,
+                       schemes::Scheme::Naive}) {
+            mee::MeeParams mp = schemes::makeMeeParams(s);
+            mp.mdcPolicy = policy;
+            expectIdentical(gp, mp, w,
+                            std::string(mem::policyName(policy)) +
+                                " / " + schemes::schemeName(s));
+        }
+    }
 }
 
 TEST(ShardDiff, ShardCountAboveDomainsClamps)
