@@ -23,10 +23,13 @@ import sys
 # throughput comparison to mean anything. "shards" keeps a sharded run
 # from being compared against the serial baseline, "policy" keeps a
 # --policy sieve run from being compared against the default-LRU
-# baseline (absent in baselines recorded before the field existed,
-# which .get() treats as None — re-record the baseline to compare).
+# baseline, and "cryptoBackend" keeps a --crypto scalar A/B run from
+# being compared against the dispatched (aesni/vaes) baseline (absent
+# in baselines recorded before the field existed, which .get() treats
+# as None — re-record the baseline to compare).
 CONFIG_KEYS = ("benchmark", "gpu", "kernel_loop", "policy",
-               "max_cycles_per_kernel", "cells", "shards")
+               "max_cycles_per_kernel", "cells", "shards",
+               "cryptoBackend")
 
 
 def load(path):

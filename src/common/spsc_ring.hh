@@ -72,6 +72,31 @@ class SpscRing
         return true;
     }
 
+    /**
+     * Producer side: append @p n elements in order with a single
+     * release store of the tail — one published index update (and one
+     * cross-core cache-line transfer) per batch instead of per
+     * element. All-or-nothing: when fewer than @p n slots are free the
+     * ring is left untouched and false is returned. Pushing zero
+     * elements trivially succeeds.
+     */
+    bool
+    tryPushBulk(const T *values, std::size_t n)
+    {
+        if (n == 0)
+            return true;
+        const std::uint64_t t = tail.load(std::memory_order_relaxed);
+        if (t + n - headCache > slots.size()) {
+            headCache = head.load(std::memory_order_acquire);
+            if (t + n - headCache > slots.size())
+                return false;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            slots[(t + i) & mask] = values[i];
+        tail.store(t + n, std::memory_order_release);
+        return true;
+    }
+
     /** Consumer side: pop the oldest element into @p out; false when
      *  the ring is empty. */
     bool

@@ -1,5 +1,7 @@
 #include "core/overrides.hh"
 
+#include "crypto/dispatch.hh"
+
 namespace shmgpu::core
 {
 
@@ -21,6 +23,8 @@ applyGpuOverrides(Config &config, gpu::GpuParams &p)
     p.icntLatency = config.getU64("gpu.icnt_latency", p.icntLatency);
     p.shards = static_cast<std::uint32_t>(
         config.getU64("gpu.shards", p.shards));
+    p.shardSpin = static_cast<std::uint32_t>(
+        config.getU64("gpu.shard_spin", p.shardSpin));
     p.victimMissRateThreshold = config.getDouble(
         "gpu.victim_threshold", p.victimMissRateThreshold);
     p.referenceKernelLoop = config.getBool("gpu.reference_loop",
@@ -91,6 +95,14 @@ applyTraceOverrides(Config &config, trace::TraceParams &p)
 }
 
 void
+applyCryptoOverrides(Config &config)
+{
+    std::string name = config.getString("crypto.backend", "");
+    if (!name.empty())
+        crypto::setBackend(crypto::backendFromName(name));
+}
+
+void
 applyOverridesFile(const std::string &path, gpu::GpuParams &gpu,
                    mee::MeeParams &mee)
 {
@@ -99,6 +111,7 @@ applyOverridesFile(const std::string &path, gpu::GpuParams &gpu,
     applyMeeOverrides(config, mee);
     trace::TraceParams scratch;
     applyTraceOverrides(config, scratch);
+    applyCryptoOverrides(config);
     config.assertConsumed();
 }
 

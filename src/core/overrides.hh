@@ -17,6 +17,8 @@
  *   mee.mac_bytes          = 8
  *   mee.bmt_arity          = 16
  *   mee.static_space_hints = true
+ *   gpu.shard_spin         = 4096  # barrier spin-then-futex threshold
+ *   crypto.backend         = auto  # auto/scalar/aesni/vaes
  *
  * Unknown keys are fatal (Config::assertConsumed); so are unknown
  * policy names, which list the valid set in the error.
@@ -45,6 +47,17 @@ void applyMeeOverrides(Config &config, mee::MeeParams &params);
  *   trace.ring_capacity = 65536
  */
 void applyTraceOverrides(Config &config, trace::TraceParams &params);
+
+/**
+ * Apply "crypto.*" keys to the process-wide crypto dispatch:
+ *   crypto.backend = auto | scalar | aesni | vaes
+ * "auto" (the default) probes cpuid for the best supported kernel;
+ * "scalar" forces the portable reference path (useful to A/B the
+ * batched backends — every backend is bit-identical, so this is a
+ * wall-clock knob only). Unsupported names are fatal and list the
+ * valid set; requesting a backend the host cannot run is fatal too.
+ */
+void applyCryptoOverrides(Config &config);
 
 /**
  * Apply everything from a file to both parameter sets and fail on

@@ -36,10 +36,37 @@ constexpr std::uint8_t rcon[11] = {
 };
 
 /** GF(2^8) multiply by 2 (xtime). */
-inline std::uint8_t
+constexpr std::uint8_t
 xtime(std::uint8_t x)
 {
     return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+/**
+ * T-table: Te[x] packs the MixColumns column a SubBytes output
+ * contributes when it sits in row 0 — (2s, s, s, 3s) little-endian.
+ * The row-r contribution is rotl(Te[x], 8r), so one table covers all
+ * four rows without the classic 4 KB four-table footprint.
+ */
+constexpr std::array<std::uint32_t, 256>
+makeTe()
+{
+    std::array<std::uint32_t, 256> t{};
+    for (unsigned i = 0; i < 256; ++i) {
+        std::uint32_t s = sbox[i];
+        std::uint32_t s2 = xtime(sbox[i]);
+        std::uint32_t s3 = s2 ^ s;
+        t[i] = s2 | (s << 8) | (s << 16) | (s3 << 24);
+    }
+    return t;
+}
+
+constexpr std::array<std::uint32_t, 256> te = makeTe();
+
+constexpr std::uint32_t
+rotl32(std::uint32_t x, int b)
+{
+    return (x << b) | (x >> (32 - b));
 }
 
 } // namespace
@@ -68,52 +95,83 @@ Aes128::Aes128(const Block16 &key)
                 static_cast<std::uint8_t>(roundKeys[(i - 4) * 4 + b] ^
                                           temp[b]);
     }
+
+    // Pre-pack the schedule as little-endian words: the T-table round
+    // works on whole columns, so AddRoundKey is four word XORs.
+    for (unsigned w = 0; w < roundKeyWords.size(); ++w)
+        roundKeyWords[w] =
+            static_cast<std::uint32_t>(roundKeys[4 * w]) |
+            (static_cast<std::uint32_t>(roundKeys[4 * w + 1]) << 8) |
+            (static_cast<std::uint32_t>(roundKeys[4 * w + 2]) << 16) |
+            (static_cast<std::uint32_t>(roundKeys[4 * w + 3]) << 24);
 }
 
 Block16
 Aes128::encrypt(const Block16 &plaintext) const
 {
-    // State is column-major per FIPS-197: state[r + 4c].
-    std::uint8_t s[16];
-    for (unsigned i = 0; i < 16; ++i)
-        s[i] = static_cast<std::uint8_t>(plaintext[i] ^ roundKeys[i]);
+    // Column-major state per FIPS-197, one little-endian word per
+    // column: byte r of word c is state[r + 4c]. A round computes
+    //   w'[c] = Te[b0(w[c])] ^ rotl8(Te[b1(w[c+1])])
+    //         ^ rotl16(Te[b2(w[c+2])]) ^ rotl24(Te[b3(w[c+3])]) ^ rk
+    // — ShiftRows is the c+r column offsets, SubBytes + MixColumns
+    // live in the table.
+    std::uint32_t w0, w1, w2, w3;
+    auto load = [&](unsigned c) {
+        return static_cast<std::uint32_t>(plaintext[4 * c]) |
+               (static_cast<std::uint32_t>(plaintext[4 * c + 1]) << 8) |
+               (static_cast<std::uint32_t>(plaintext[4 * c + 2]) << 16) |
+               (static_cast<std::uint32_t>(plaintext[4 * c + 3]) << 24);
+    };
+    w0 = load(0) ^ roundKeyWords[0];
+    w1 = load(1) ^ roundKeyWords[1];
+    w2 = load(2) ^ roundKeyWords[2];
+    w3 = load(3) ^ roundKeyWords[3];
 
-    auto sub_shift = [&]() {
-        // SubBytes + ShiftRows combined.
-        std::uint8_t t[16];
-        for (unsigned c = 0; c < 4; ++c)
-            for (unsigned r = 0; r < 4; ++r)
-                t[r + 4 * c] = sbox[s[r + 4 * ((c + r) % 4)]];
-        for (unsigned i = 0; i < 16; ++i)
-            s[i] = t[i];
+    auto column = [](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                     std::uint32_t d) {
+        return te[a & 0xff] ^ rotl32(te[(b >> 8) & 0xff], 8) ^
+               rotl32(te[(c >> 16) & 0xff], 16) ^
+               rotl32(te[d >> 24], 24);
     };
 
     for (unsigned round = 1; round < rounds; ++round) {
-        sub_shift();
-        // MixColumns.
-        for (unsigned c = 0; c < 4; ++c) {
-            std::uint8_t a0 = s[4 * c], a1 = s[4 * c + 1];
-            std::uint8_t a2 = s[4 * c + 2], a3 = s[4 * c + 3];
-            std::uint8_t all = static_cast<std::uint8_t>(a0 ^ a1 ^ a2 ^ a3);
-            s[4 * c] ^= static_cast<std::uint8_t>(
-                all ^ xtime(static_cast<std::uint8_t>(a0 ^ a1)));
-            s[4 * c + 1] ^= static_cast<std::uint8_t>(
-                all ^ xtime(static_cast<std::uint8_t>(a1 ^ a2)));
-            s[4 * c + 2] ^= static_cast<std::uint8_t>(
-                all ^ xtime(static_cast<std::uint8_t>(a2 ^ a3)));
-            s[4 * c + 3] ^= static_cast<std::uint8_t>(
-                all ^ xtime(static_cast<std::uint8_t>(a3 ^ a0)));
-        }
-        // AddRoundKey.
-        for (unsigned i = 0; i < 16; ++i)
-            s[i] ^= roundKeys[round * 16 + i];
+        const std::uint32_t *rk = &roundKeyWords[4 * round];
+        std::uint32_t t0 = column(w0, w1, w2, w3) ^ rk[0];
+        std::uint32_t t1 = column(w1, w2, w3, w0) ^ rk[1];
+        std::uint32_t t2 = column(w2, w3, w0, w1) ^ rk[2];
+        std::uint32_t t3 = column(w3, w0, w1, w2) ^ rk[3];
+        w0 = t0;
+        w1 = t1;
+        w2 = t2;
+        w3 = t3;
     }
 
-    // Final round: no MixColumns.
-    sub_shift();
+    // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+    auto last = [&](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                    std::uint32_t d) {
+        return static_cast<std::uint32_t>(sbox[a & 0xff]) |
+               (static_cast<std::uint32_t>(sbox[(b >> 8) & 0xff]) << 8) |
+               (static_cast<std::uint32_t>(sbox[(c >> 16) & 0xff])
+                << 16) |
+               (static_cast<std::uint32_t>(sbox[d >> 24]) << 24);
+    };
+    const std::uint32_t *rk = &roundKeyWords[4 * rounds];
+    std::uint32_t o0 = last(w0, w1, w2, w3) ^ rk[0];
+    std::uint32_t o1 = last(w1, w2, w3, w0) ^ rk[1];
+    std::uint32_t o2 = last(w2, w3, w0, w1) ^ rk[2];
+    std::uint32_t o3 = last(w3, w0, w1, w2) ^ rk[3];
+
     Block16 out;
-    for (unsigned i = 0; i < 16; ++i)
-        out[i] = static_cast<std::uint8_t>(s[i] ^ roundKeys[rounds * 16 + i]);
+    auto store = [&](unsigned c, std::uint32_t w) {
+        out[4 * c] = static_cast<std::uint8_t>(w);
+        out[4 * c + 1] = static_cast<std::uint8_t>(w >> 8);
+        out[4 * c + 2] = static_cast<std::uint8_t>(w >> 16);
+        out[4 * c + 3] = static_cast<std::uint8_t>(w >> 24);
+    };
+    store(0, o0);
+    store(1, o1);
+    store(2, o2);
+    store(3, o3);
     return out;
 }
 

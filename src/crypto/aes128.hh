@@ -4,10 +4,13 @@
  *
  * Counter-mode secure memory only ever encrypts the seed to produce a
  * one-time pad (OTP); decryption of data is an XOR with the same pad,
- * so the inverse cipher is not needed. The implementation is a
- * straightforward byte-oriented one: the simulator charges a fixed
- * pipelined-engine latency for timing, so software speed is secondary
- * to clarity, but it is still fast enough for functional-mode tests.
+ * so the inverse cipher is not needed. The portable implementation
+ * here is the always-compiled reference: rounds run over a
+ * pre-expanded T-table (SubBytes + ShiftRows + MixColumns folded into
+ * one 256-entry word lookup plus rotations), which keeps the scalar
+ * fallback fast on machines without AES-NI. The hardware-batched
+ * variants live in crypto/aes128_batch.hh and are held bit-identical
+ * to this class by differential fuzz.
  */
 
 #ifndef SHMGPU_CRYPTO_AES128_HH
@@ -31,10 +34,23 @@ class Aes128
     /** Encrypt one 16-byte block. */
     Block16 encrypt(const Block16 &plaintext) const;
 
-  private:
+    /** AES round count for a 128-bit key. */
     static constexpr unsigned rounds = 10;
+
+    /** The expanded key schedule: 11 x 16 bytes, FIPS-197 order.
+     *  The hardware-batched paths load their round keys from here so
+     *  scalar and batched encryption share one expansion. */
+    const std::uint8_t *
+    roundKeyBytes() const
+    {
+        return roundKeys.data();
+    }
+
+  private:
     /** Round keys: 11 x 16 bytes. */
     std::array<std::uint8_t, 16 * (rounds + 1)> roundKeys;
+    /** The same schedule as little-endian words (T-table rounds). */
+    std::array<std::uint32_t, 4 * (rounds + 1)> roundKeyWords;
 };
 
 } // namespace shmgpu::crypto

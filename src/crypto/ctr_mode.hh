@@ -16,10 +16,12 @@
 #define SHMGPU_CRYPTO_CTR_MODE_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "common/types.hh"
 #include "crypto/aes128.hh"
+#include "crypto/aes128_batch.hh"
 
 namespace shmgpu::crypto
 {
@@ -55,7 +57,11 @@ class CtrModeEngine
   public:
     explicit CtrModeEngine(const Block16 &key);
 
-    /** Generate the 128 B one-time pad for @p seed. */
+    /** Same, forcing a specific AES backend (tests, benchmarks). */
+    CtrModeEngine(const Block16 &key, Backend backend);
+
+    /** Generate the 128 B one-time pad for @p seed. The eight chunk
+     *  seeds go through one batched AES call. */
     DataBlock generatePad(const Seed &seed) const;
 
     /** Encrypt (or decrypt: the operation is an involution) in place. */
@@ -64,8 +70,22 @@ class CtrModeEngine
     /** Out-of-place transform convenience. */
     DataBlock transformed(const DataBlock &data, const Seed &seed) const;
 
+    /**
+     * Pads for @p n seeds at once: all 8n chunk seeds are packed and
+     * encrypted through the batched AES backend in one sweep — the
+     * OTP-generation batch the MEE collects per epoch burst.
+     */
+    void generatePads(const Seed *seeds, DataBlock *pads,
+                      std::size_t n) const;
+
+    /** In-place transform of @p n blocks, pads generated batched. */
+    void transformBatch(DataBlock *blocks, const Seed *seeds,
+                        std::size_t n) const;
+
+    Backend backend() const { return aes.backend(); }
+
   private:
-    Aes128 aes;
+    Aes128Batch aes;
 };
 
 } // namespace shmgpu::crypto

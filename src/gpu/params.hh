@@ -75,6 +75,17 @@ struct GpuParams
     std::uint32_t shards = 1;
 
     /**
+     * Shard-engine barrier tuning (`gpu.shard_spin`): iterations each
+     * side of the epoch barrier spins on its atomic before parking on
+     * a futex wait. Larger values favour dedicated cores (a worker
+     * finishing within a few hundred nanoseconds is caught without a
+     * syscall); smaller values yield the timeslice sooner on
+     * oversubscribed or low-core-count machines. Purely a wall-clock
+     * knob — simulated results are bit-identical for every value.
+     */
+    std::uint32_t shardSpin = 1u << 12;
+
+    /**
      * Drive the kernel loop with the per-cycle reference engine
      * instead of the event-driven calendar. Both produce bit-identical
      * statistics (tests/test_kernel_loop_diff.cc proves it on

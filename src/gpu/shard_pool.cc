@@ -6,10 +6,13 @@ namespace shmgpu::gpu
 {
 
 ShardPool::ShardPool(std::uint32_t num_workers, std::uint32_t num_domains,
-                     std::function<void(std::uint32_t)> work)
-    : workerCount(num_workers), numDomains(num_domains),
-      task(std::move(work))
+                     std::function<void(std::uint32_t)> work,
+                     std::uint32_t spin_limit)
+    : spinLimit(spin_limit), workerCount(num_workers),
+      numDomains(num_domains), task(std::move(work))
 {
+    // spin_limit 0 is legal: every failed check parks immediately —
+    // the right choice on a machine with fewer cores than workers.
     shm_assert(workerCount > 0, "shard pool needs at least one worker");
     shm_assert(workerCount <= numDomains,
                "{} workers for {} domains — cap shards at the domain "

@@ -42,10 +42,19 @@ class ShardPool
     /**
      * Spawn @p num_workers - 1 threads (the caller is worker 0), each
      * epoch running @p work(d) for its share of @p num_domains
-     * domains.
+     * domains. @p spin_limit tunes the spin-then-futex threshold
+     * (`gpu.shard_spin`); any value yields identical results.
      */
     ShardPool(std::uint32_t num_workers, std::uint32_t num_domains,
-              std::function<void(std::uint32_t)> work);
+              std::function<void(std::uint32_t)> work,
+              std::uint32_t spin_limit = defaultSpinLimit);
+
+    /** Iterations to spin on an atomic before parking on wait().
+     *  Long enough to catch a worker finishing within a few hundred
+     *  nanoseconds, short enough that an oversubscribed (or
+     *  single-core) machine falls through to the futex quickly
+     *  instead of burning its only timeslice spinning. */
+    static constexpr std::uint32_t defaultSpinLimit = 1u << 12;
 
     /** Stops and joins the spawned workers. */
     ~ShardPool();
@@ -62,15 +71,13 @@ class ShardPool
 
     std::uint32_t numWorkers() const { return workerCount; }
 
+    std::uint32_t spinThreshold() const { return spinLimit; }
+
   private:
     void workerMain(std::uint32_t worker);
 
-    /** Iterations to spin on an atomic before parking on wait().
-     *  Long enough to catch a worker finishing within a few hundred
-     *  nanoseconds, short enough that an oversubscribed (or
-     *  single-core) machine falls through to the futex quickly
-     *  instead of burning its only timeslice spinning. */
-    static constexpr std::uint32_t spinLimit = 1u << 12;
+    /** Spin-then-futex threshold, fixed at construction. */
+    std::uint32_t spinLimit;
 
     std::uint32_t workerCount;
     std::uint32_t numDomains;

@@ -160,7 +160,8 @@ GpuSimulator::init()
                                    num_domains, ring_cap);
         shardPool = std::make_unique<ShardPool>(
             effectiveShards, num_domains,
-            [this](std::uint32_t d) { icnt.drainDomain(d); });
+            [this](std::uint32_t d) { icnt.drainDomain(d); },
+            gpuConfig.shardSpin);
     }
 
     rootStats.attach(nullptr, "sim");
@@ -635,7 +636,7 @@ GpuSimulator::shardedKernelLoop(Source &source, std::uint32_t window)
                     tracer->record(smLane, trace::EventKind::SmIssue, now,
                                    static_cast<std::uint16_t>(sm),
                                    u.op.addr);
-                icnt.submit(makeTxn(u.op, pa, sm, now));
+                icnt.stageSubmit(makeTxn(u.op, pa, sm, now));
                 ++pendingTxns;
                 ++u.outstanding;
             } else {
@@ -643,7 +644,7 @@ GpuSimulator::shardedKernelLoop(Source &source, std::uint32_t window)
                     tracer->record(smLane, trace::EventKind::SmIssue, now,
                                    static_cast<std::uint16_t>(sm),
                                    u.op.addr | (1ull << 63));
-                icnt.submit(makeTxn(u.op, pa, sm, now));
+                icnt.stageSubmit(makeTxn(u.op, pa, sm, now));
                 ++pendingTxns;
             }
             ++u.instructions;
@@ -656,6 +657,7 @@ GpuSimulator::shardedKernelLoop(Source &source, std::uint32_t window)
         // workers), then replies and the domain-private crossbar stats
         // merge back in ascending domain order.
         if (pendingTxns > 0) {
+            icnt.flushStaged();
             shardPool->runEpoch();
             icnt.mergeShardStats();
             icnt.forEachReply([&](const mem::TxnReply &r) {

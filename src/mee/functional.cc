@@ -106,11 +106,58 @@ SecureMemoryContext::hostWriteRange(LocalAddr base, const void *data,
     shm_assert(base % kBlock == 0 && len % kBlock == 0,
                "host copies must be 128B-block aligned");
     const auto *src = static_cast<const std::uint8_t *>(data);
-    for (std::size_t off = 0; off < len; off += kBlock) {
-        crypto::DataBlock plain;
-        std::memcpy(plain.data(), src + off, kBlock);
-        hostWrite(base + off, plain, mark_read_only);
+
+    // Batched fast path: when every block in the range would take the
+    // read-only shared-counter path, the whole copy is one crypto
+    // burst — encrypt all pads through the batched AES backend and
+    // recompute MACs through the interleaved SipHash batch, then
+    // refresh each covered chunk MAC once instead of once per block.
+    // (Marking regions read-only never un-freshens a later block, so
+    // the pre-check is equivalent to the sequential decision.)
+    bool all_fresh = mark_read_only;
+    for (std::size_t off = 0; all_fresh && off < len; off += kBlock) {
+        LocalAddr b = base + off;
+        all_fresh = roDetector.isReadOnly(b) ||
+                    roDetector.causeFor(b) ==
+                        detect::NotReadOnlyCause::NeverSet;
     }
+    if (!all_fresh) {
+        for (std::size_t off = 0; off < len; off += kBlock) {
+            crypto::DataBlock plain;
+            std::memcpy(plain.data(), src + off, kBlock);
+            hostWrite(base + off, plain, mark_read_only);
+        }
+        return;
+    }
+
+    std::size_t n = len / kBlock;
+    std::vector<crypto::DataBlock> blocks(n);
+    std::vector<crypto::Seed> seeds(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        LocalAddr b = base + i * kBlock;
+        roDetector.markInputRegion(b, kBlock);
+        roRegionBases.insert(regionBase(b));
+        std::memcpy(blocks[i].data(), src + i * kBlock, kBlock);
+        seeds[i] = seedFor(b, true);
+    }
+    ctrEngine.transformBatch(blocks.data(), seeds.data(), n);
+
+    std::vector<crypto::BlockMacInput> jobs(n);
+    std::vector<crypto::Mac> tags(n);
+    for (std::size_t i = 0; i < n; ++i)
+        jobs[i] = {&blocks[i], seeds[i].address, seeds[i].major,
+                   seeds[i].minor, 0};
+    macEngine.blockMacBatch(jobs, tags.data());
+
+    for (std::size_t i = 0; i < n; ++i) {
+        LocalAddr b = base + i * kBlock;
+        store.writeBlock(b, blocks[i]);
+        macs.setBlockMac(b, tags[i]);
+    }
+    std::uint64_t chunk_bytes = metaLayout.params().chunkBytes;
+    for (LocalAddr c = base / chunk_bytes * chunk_bytes; c < base + len;
+         c += chunk_bytes)
+        refreshChunkMac(c);
 }
 
 void
@@ -171,25 +218,36 @@ SecureMemoryContext::reencryptRegion(LocalAddr addr)
     LocalAddr base = addr / cover * cover;
     LocalAddr end = std::min<LocalAddr>(base + cover,
                                         metaLayout.params().dataBytes);
+    std::size_t n = (end - base) / kBlock;
 
-    // Decrypt the whole region under its current counters.
-    std::vector<crypto::DataBlock> plains;
-    for (LocalAddr b = base; b < end; b += kBlock) {
-        plains.push_back(ctrEngine.transformed(store.readBlock(b),
-                                               seedFor(b, false)));
+    // Decrypt the whole region under its current counters, all pads
+    // generated in one batched AES sweep.
+    std::vector<crypto::DataBlock> blocks(n);
+    std::vector<crypto::Seed> seeds(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        LocalAddr b = base + i * kBlock;
+        blocks[i] = store.readBlock(b);
+        seeds[i] = seedFor(b, false);
     }
+    ctrEngine.transformBatch(blocks.data(), seeds.data(), n);
 
     counterStore.bumpMajor(base);
     bmt.updatePath(metaLayout.counterBlockIndex(base));
 
-    // Re-encrypt everything under (major+1, 0) and refresh MACs.
-    std::size_t i = 0;
-    for (LocalAddr b = base; b < end; b += kBlock, ++i) {
-        crypto::Seed s = seedFor(b, false);
-        crypto::DataBlock cipher = ctrEngine.transformed(plains[i], s);
-        store.writeBlock(b, cipher);
-        macs.setBlockMac(b, macEngine.blockMac(cipher, b, s.major,
-                                               s.minor, 0));
+    // Re-encrypt everything under (major+1, 0) and refresh MACs, again
+    // as one encrypt burst plus one interleaved-SipHash MAC burst.
+    std::vector<crypto::BlockMacInput> jobs(n);
+    std::vector<crypto::Mac> tags(n);
+    for (std::size_t i = 0; i < n; ++i)
+        seeds[i] = seedFor(base + i * kBlock, false);
+    ctrEngine.transformBatch(blocks.data(), seeds.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        jobs[i] = {&blocks[i], seeds[i].address, seeds[i].major,
+                   seeds[i].minor, 0};
+    macEngine.blockMacBatch(jobs, tags.data());
+    for (std::size_t i = 0; i < n; ++i) {
+        store.writeBlock(base + i * kBlock, blocks[i]);
+        macs.setBlockMac(base + i * kBlock, tags[i]);
     }
     std::uint64_t chunk_bytes = metaLayout.params().chunkBytes;
     for (LocalAddr c = base; c < end; c += chunk_bytes)
@@ -226,20 +284,88 @@ SecureMemoryContext::deviceRead(LocalAddr addr)
 }
 
 void
+SecureMemoryContext::deviceReadBatch(const LocalAddr *addrs,
+                                     FunctionalReadResult *out,
+                                     std::size_t n)
+{
+    // Reads have no off-chip side effects (beyond lazy MAC init), so
+    // the burst can be verified and decrypted in two batched sweeps:
+    // one interleaved-SipHash pass recomputing every expected MAC, and
+    // one batched-AES pass generating pads for the lanes that passed.
+    std::vector<crypto::DataBlock> ciphers(n);
+    std::vector<crypto::Seed> seeds(n);
+    std::vector<crypto::BlockMacInput> jobs(n);
+    std::vector<crypto::Mac> expected(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        LocalAddr block = addrs[i] / kBlock * kBlock;
+        bool ro = roDetector.isReadOnly(block);
+        ciphers[i] = store.readBlock(block);
+        seeds[i] = seedFor(block, ro);
+        jobs[i] = {&ciphers[i], seeds[i].address, seeds[i].major,
+                   seeds[i].minor, 0};
+    }
+    macEngine.blockMacBatch(jobs, expected.data());
+
+    std::vector<std::size_t> pass;
+    pass.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        LocalAddr block = addrs[i] / kBlock * kBlock;
+        out[i] = FunctionalReadResult{};
+        if (expected[i] != storedBlockMacOrInit(block)) {
+            out[i].status = VerifyStatus::MacMismatch;
+            continue;
+        }
+        if (!roDetector.isReadOnly(block) &&
+            !bmt.verifyPath(metaLayout.counterBlockIndex(block)).ok) {
+            out[i].status = VerifyStatus::BmtMismatch;
+            continue;
+        }
+        pass.push_back(i);
+    }
+
+    std::vector<crypto::DataBlock> plains(pass.size());
+    std::vector<crypto::Seed> pass_seeds(pass.size());
+    for (std::size_t p = 0; p < pass.size(); ++p) {
+        plains[p] = ciphers[pass[p]];
+        pass_seeds[p] = seeds[pass[p]];
+    }
+    ctrEngine.transformBatch(plains.data(), pass_seeds.data(),
+                             pass.size());
+    for (std::size_t p = 0; p < pass.size(); ++p)
+        out[pass[p]].data = plains[p];
+}
+
+void
 SecureMemoryContext::reencryptSharedRegion(LocalAddr region_base,
                                            std::uint64_t old_shared)
 {
     LocalAddr end = std::min<LocalAddr>(
         region_base + roDetector.params().regionBytes,
         metaLayout.params().dataBytes);
-    for (LocalAddr b = region_base; b < end; b += kBlock) {
-        crypto::DataBlock plain = ctrEngine.transformed(
-            store.readBlock(b), crypto::Seed{b, old_shared, 0, 0});
-        crypto::Seed new_seed{b, shared.value(), 0, 0};
-        crypto::DataBlock cipher = ctrEngine.transformed(plain, new_seed);
-        store.writeBlock(b, cipher);
-        macs.setBlockMac(b, macEngine.blockMac(cipher, b, new_seed.major,
-                                               0, 0));
+    std::size_t n = (end - region_base) / kBlock;
+
+    // Old-pad decrypt and new-pad encrypt are each one batched AES
+    // sweep over the region; the MAC refresh is one SipHash batch.
+    std::vector<crypto::DataBlock> blocks(n);
+    std::vector<crypto::Seed> seeds(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        LocalAddr b = region_base + i * kBlock;
+        blocks[i] = store.readBlock(b);
+        seeds[i] = crypto::Seed{b, old_shared, 0, 0};
+    }
+    ctrEngine.transformBatch(blocks.data(), seeds.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        seeds[i].major = shared.value();
+    ctrEngine.transformBatch(blocks.data(), seeds.data(), n);
+
+    std::vector<crypto::BlockMacInput> jobs(n);
+    std::vector<crypto::Mac> tags(n);
+    for (std::size_t i = 0; i < n; ++i)
+        jobs[i] = {&blocks[i], seeds[i].address, seeds[i].major, 0, 0};
+    macEngine.blockMacBatch(jobs, tags.data());
+    for (std::size_t i = 0; i < n; ++i) {
+        store.writeBlock(region_base + i * kBlock, blocks[i]);
+        macs.setBlockMac(region_base + i * kBlock, tags[i]);
     }
     std::uint64_t chunk_bytes = metaLayout.params().chunkBytes;
     for (LocalAddr c = region_base; c < end; c += chunk_bytes)
@@ -270,18 +396,32 @@ SecureMemoryContext::inputReadOnlyReset(LocalAddr base,
     if (reencrypt) {
         // Also bring the target range (possibly under per-block
         // counters after kernel writes) to the new shared value.
+        std::vector<LocalAddr> todo;
         for (LocalAddr b = base; b < end; b += kBlock) {
             if (roRegionBases.contains(regionBase(b)))
                 continue; // already re-encrypted above
-            crypto::DataBlock plain = ctrEngine.transformed(
-                store.readBlock(b), seedFor(b, false));
-            crypto::Seed new_seed{b, shared.value(), 0, 0};
-            crypto::DataBlock cipher =
-                ctrEngine.transformed(plain, new_seed);
-            store.writeBlock(b, cipher);
-            macs.setBlockMac(b,
-                             macEngine.blockMac(cipher, b,
-                                                new_seed.major, 0, 0));
+            todo.push_back(b);
+        }
+        std::size_t n = todo.size();
+        std::vector<crypto::DataBlock> blocks(n);
+        std::vector<crypto::Seed> seeds(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            blocks[i] = store.readBlock(todo[i]);
+            seeds[i] = seedFor(todo[i], false);
+        }
+        ctrEngine.transformBatch(blocks.data(), seeds.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            seeds[i] = crypto::Seed{todo[i], shared.value(), 0, 0};
+        ctrEngine.transformBatch(blocks.data(), seeds.data(), n);
+
+        std::vector<crypto::BlockMacInput> jobs(n);
+        std::vector<crypto::Mac> tags(n);
+        for (std::size_t i = 0; i < n; ++i)
+            jobs[i] = {&blocks[i], todo[i], seeds[i].major, 0, 0};
+        macEngine.blockMacBatch(jobs, tags.data());
+        for (std::size_t i = 0; i < n; ++i) {
+            store.writeBlock(todo[i], blocks[i]);
+            macs.setBlockMac(todo[i], tags[i]);
         }
         std::uint64_t chunk_bytes = metaLayout.params().chunkBytes;
         for (LocalAddr c = base / chunk_bytes * chunk_bytes; c < end;
@@ -304,13 +444,22 @@ SecureMemoryContext::verifyChunk(LocalAddr chunk_base)
     LocalAddr end = std::min<LocalAddr>(base + chunk_bytes,
                                         metaLayout.params().dataBytes);
 
-    std::vector<crypto::Mac> block_macs;
+    // Recompute every block MAC of the chunk in one interleaved
+    // SipHash batch — the coarse-grain verification burst.
+    std::size_t n = (end - base) / kBlock;
+    std::vector<crypto::DataBlock> ciphers(n);
+    std::vector<crypto::BlockMacInput> jobs(n);
+    std::vector<crypto::Mac> block_macs(n);
     bool any_not_ro = false;
-    for (LocalAddr b = base; b < end; b += kBlock) {
+    for (std::size_t i = 0; i < n; ++i) {
+        LocalAddr b = base + i * kBlock;
         bool ro = roDetector.isReadOnly(b);
         any_not_ro |= !ro;
-        block_macs.push_back(macFor(store.readBlock(b), b, ro));
+        ciphers[i] = store.readBlock(b);
+        crypto::Seed s = seedFor(b, ro);
+        jobs[i] = {&ciphers[i], s.address, s.major, s.minor, 0};
     }
+    macEngine.blockMacBatch(jobs, block_macs.data());
     auto stored = macs.chunkMac(base);
     if (!stored) {
         refreshChunkMac(base);

@@ -78,6 +78,16 @@ class SecureMemoryContext
     FunctionalReadResult deviceRead(LocalAddr addr);
 
     /**
+     * Verified load of @p n blocks — the value-level analogue of one
+     * epoch's transaction burst. MAC recomputation runs through the
+     * interleaved SipHash batch and OTP generation through the batched
+     * AES backend; results are identical to @p n sequential
+     * deviceRead() calls.
+     */
+    void deviceReadBatch(const LocalAddr *addrs,
+                         FunctionalReadResult *out, std::size_t n);
+
+    /**
      * The InputReadOnlyReset(address range) API (Fig. 9): scan the
      * range's major counters, raise the shared counter above the
      * maximum, and re-arm the range as read-only.

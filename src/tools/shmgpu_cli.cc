@@ -47,6 +47,7 @@
 #include "core/experiment.hh"
 #include "core/overrides.hh"
 #include "core/sweep.hh"
+#include "crypto/dispatch.hh"
 #include "gpu/presets.hh"
 #include "gpu/simulator.hh"
 #include "mem/replacement.hh"
@@ -101,6 +102,7 @@ usage()
               "  shmgpu run (--workload NAME | --spec FILE) [--scheme SHM]"
               " [--gpu turing|big|test] [--cycles N] [--shards N]"
               " [--policy lru|fifo|random|s3fifo|sieve]"
+              " [--crypto auto|scalar|aesni|vaes]"
               " [--overrides CFG]"
               " [--stats FILE] [--json FILE] [--accuracy] [--profile]"
               " [--reference-loop]"
@@ -117,6 +119,7 @@ usage()
               "  shmgpu trace-info --in TRACE.json\n"
               "  shmgpu bench-self [--quick] [--cycles N] [--reps N]"
               " [--gpu turing|big|test] [--shards N] [--policy P]"
+              " [--crypto auto|scalar|aesni|vaes] [--overrides CFG]"
               " [--out BENCH_hotpath.json]"
               " [--profile] [--reference-loop]");
     return 2;
@@ -166,6 +169,7 @@ gpuParamsFrom(const Args &args, trace::TraceParams *trace_params = nullptr,
         core::applyMeeOverrides(config, scratch);
         core::applyTraceOverrides(
             config, trace_params ? *trace_params : trace_scratch);
+        core::applyCryptoOverrides(config);
         config.assertConsumed();
         if (mdc_policy)
             *mdc_policy = scratch.mdcPolicy;
@@ -192,6 +196,12 @@ gpuParamsFrom(const Args &args, trace::TraceParams *trace_params = nullptr,
     // of the event-driven calendar (also gpu.reference_loop override).
     if (args.has("reference-loop"))
         gp.referenceKernelLoop = true;
+    // Software crypto backend (also crypto.backend override): the
+    // batched kernels are bit-identical, so this only moves wall
+    // clock — auto (cpuid best), scalar, aesni, vaes.
+    std::string backend = args.get("crypto");
+    if (!backend.empty())
+        crypto::setBackend(crypto::backendFromName(backend));
     return gp;
 }
 
@@ -409,6 +419,17 @@ cmdBenchSelf(const Args &args)
         gp.shards = static_cast<std::uint32_t>(std::stoul(shards));
     if (args.has("reference-loop"))
         gp.referenceKernelLoop = true;
+    // --overrides reaches the engine knobs bench-self exercises
+    // (gpu.shard_spin, crypto.backend, cache.policy, ...); --crypto
+    // and --policy below still win over the file, like cmdRun.
+    std::string overrides = args.get("overrides");
+    if (!overrides.empty()) {
+        mee::MeeParams mee_scratch;
+        core::applyOverridesFile(overrides, gp, mee_scratch);
+    }
+    std::string backend = args.get("crypto");
+    if (!backend.empty())
+        crypto::setBackend(crypto::backendFromName(backend));
 
     core::RunOptions run_opts;
     std::string policy_name = args.get("policy");
@@ -455,6 +476,8 @@ cmdBenchSelf(const Args &args)
     doc["kernel_loop"] = gp.referenceKernelLoop ? "reference" : "event";
     doc["policy"] = mem::policyName(gp.l2Policy);
     doc["shards"] = static_cast<std::uint64_t>(gp.shards);
+    doc["cryptoBackend"] =
+        crypto::backendName(crypto::activeBackend());
     doc["max_cycles_per_kernel"] = cycles;
     doc["reps"] = static_cast<std::uint64_t>(reps);
     doc["cells"] = static_cast<std::uint64_t>(cells);

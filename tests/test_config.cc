@@ -9,6 +9,8 @@
 
 #include "common/config.hh"
 #include "core/overrides.hh"
+#include "crypto/dispatch.hh"
+#include "gpu/shard_pool.hh"
 #include "mem/replacement.hh"
 
 using namespace shmgpu;
@@ -157,4 +159,51 @@ TEST(Overrides, DefaultsUntouchedWithoutKeys)
     EXPECT_EQ(gp.numSms, 8u);
     EXPECT_EQ(gp.numPartitions, 12u);
     EXPECT_EQ(mp.macBytes, 8u);
+}
+
+TEST(Overrides, ShardSpinKey)
+{
+    Config c = parse("gpu.shard_spin = 64\n");
+    gpu::GpuParams gp;
+    core::applyGpuOverrides(c, gp);
+    c.assertConsumed();
+    EXPECT_EQ(gp.shardSpin, 64u);
+
+    Config empty = parse("");
+    gpu::GpuParams gp2;
+    core::applyGpuOverrides(empty, gp2);
+    EXPECT_EQ(gp2.shardSpin, gpu::ShardPool::defaultSpinLimit);
+}
+
+TEST(Overrides, CryptoBackendKey)
+{
+    crypto::Backend saved = crypto::activeBackend();
+
+    Config c = parse("crypto.backend = scalar\n");
+    core::applyCryptoOverrides(c);
+    c.assertConsumed();
+    EXPECT_EQ(crypto::activeBackend(), crypto::Backend::Scalar);
+
+    // "auto" resolves to the best kernel the host supports.
+    Config autoc = parse("crypto.backend = auto\n");
+    core::applyCryptoOverrides(autoc);
+    EXPECT_EQ(crypto::activeBackend(), crypto::bestSupportedBackend());
+
+    // Absent key leaves the active backend untouched.
+    crypto::setBackend(crypto::Backend::Scalar);
+    Config empty = parse("");
+    core::applyCryptoOverrides(empty);
+    EXPECT_EQ(crypto::activeBackend(), crypto::Backend::Scalar);
+
+    crypto::setBackend(saved);
+}
+
+TEST(Overrides, UnknownCryptoBackendIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            Config c = parse("crypto.backend = neon\n");
+            core::applyCryptoOverrides(c);
+        },
+        "unknown crypto backend 'neon'");
 }

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <thread>
@@ -122,6 +123,101 @@ TEST(SpscRing, TwoThreadTransferPreservesSequence)
         } else {
             // Yield on empty: on a single-core machine a spinning
             // consumer starves the producer for whole timeslices.
+            std::this_thread::yield();
+        }
+    }
+    producer.join();
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, BulkPushIsFifoAndAllOrNothing)
+{
+    SpscRing<int> ring(8); // capacity 8
+    int batch[5] = {1, 2, 3, 4, 5};
+    EXPECT_TRUE(ring.tryPushBulk(batch, 5));
+    EXPECT_EQ(ring.size(), 5u);
+
+    // Only 3 slots free: a 4-element batch must be rejected whole.
+    int more[4] = {6, 7, 8, 9};
+    EXPECT_FALSE(ring.tryPushBulk(more, 4));
+    EXPECT_EQ(ring.size(), 5u);
+    EXPECT_TRUE(ring.tryPushBulk(more, 3));
+    EXPECT_EQ(ring.size(), 8u);
+
+    // Zero-element pushes succeed even on a full ring.
+    EXPECT_TRUE(ring.tryPushBulk(nullptr, 0));
+    EXPECT_FALSE(ring.tryPush(99));
+
+    for (int expect = 1; expect <= 8; ++expect) {
+        int v = 0;
+        ASSERT_TRUE(ring.tryPop(v));
+        ASSERT_EQ(v, expect);
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, BulkPushMatchesDequeModelOnRandomTraffic)
+{
+    Rng rng(0xb01c);
+    SpscRing<std::uint32_t> ring(16);
+    std::deque<std::uint32_t> model;
+    std::uint32_t seq = 0;
+    for (int step = 0; step < 20000; ++step) {
+        if (rng.chance(0.5)) {
+            std::uint32_t batch[7];
+            std::size_t n = static_cast<std::size_t>(rng.below(8));
+            for (std::size_t i = 0; i < n; ++i)
+                batch[i] = seq + static_cast<std::uint32_t>(i);
+            bool fits = model.size() + n <= ring.capacity();
+            ASSERT_EQ(ring.tryPushBulk(batch, n), fits);
+            if (fits) {
+                seq += static_cast<std::uint32_t>(n);
+                for (std::size_t i = 0; i < n; ++i)
+                    model.push_back(batch[i]);
+            }
+        } else {
+            std::uint32_t v = 0;
+            bool popped = ring.tryPop(v);
+            ASSERT_EQ(popped, !model.empty());
+            if (popped) {
+                ASSERT_EQ(v, model.front());
+                model.pop_front();
+            }
+        }
+        ASSERT_EQ(ring.size(), model.size());
+    }
+}
+
+TEST(SpscRing, TwoThreadBulkTransferPreservesSequence)
+{
+    // Same contract as the per-element stress run, but the producer
+    // publishes in bursts through tryPushBulk — the shard engine's
+    // staged epoch delivery.
+    constexpr std::uint64_t count = 200000;
+    SpscRing<std::uint64_t> ring(16);
+
+    std::thread producer([&ring] {
+        std::uint64_t next = 0;
+        Rng rng(0x615e);
+        while (next < count) {
+            std::uint64_t batch[5];
+            std::uint64_t n =
+                std::min<std::uint64_t>(1 + rng.below(5), count - next);
+            for (std::uint64_t i = 0; i < n; ++i)
+                batch[i] = next + i;
+            while (!ring.tryPushBulk(batch, static_cast<std::size_t>(n)))
+                std::this_thread::yield();
+            next += n;
+        }
+    });
+
+    std::uint64_t expect = 0;
+    while (expect < count) {
+        std::uint64_t v = 0;
+        if (ring.tryPop(v)) {
+            ASSERT_EQ(v, expect);
+            ++expect;
+        } else {
             std::this_thread::yield();
         }
     }
