@@ -26,10 +26,15 @@ import sys
 # baseline, and "cryptoBackend" keeps a --crypto scalar A/B run from
 # being compared against the dispatched (aesni/vaes) baseline (absent
 # in baselines recorded before the field existed, which .get() treats
-# as None — re-record the baseline to compare).
+# as None — re-record the baseline to compare). "resultsDir" and
+# "zipf" scope bench-sweep results (BENCH_sweepcache.json): the cache
+# state the bench started from and the Zipf grid shape both move its
+# timings, so runs recorded against different values are not
+# comparable. Both are absent from bench-self files on each side, so
+# bench-self comparisons are unaffected.
 CONFIG_KEYS = ("benchmark", "gpu", "kernel_loop", "policy",
                "max_cycles_per_kernel", "cells", "shards",
-               "cryptoBackend")
+               "cryptoBackend", "resultsDir", "zipf")
 
 
 def load(path):

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Order- and field-sensitive FNV-1a fingerprint accumulator.
+ *
+ * The stable hashing substrate behind every persistent content key in
+ * the tree: workload::contentHash (baseline-cache keying) and
+ * core::cellKey (the sweep result cache, which survives on disk across
+ * processes and machines). Values are fed as fixed little-endian
+ * images, so the same logical configuration fingerprints to the same
+ * 64-bit value on every platform and compiler; strings are
+ * length-prefixed so adjacent fields cannot alias ("ab","c" vs
+ * "a","bc").
+ *
+ * Extending a fingerprinted structure means feeding the new field here
+ * unconditionally — never behind an "is default" check, which would
+ * alias the old and new default configurations — and bumping the
+ * consumer's on-disk schema version when the hash feeds a persistent
+ * key (core/result_cache.hh documents that contract).
+ */
+
+#ifndef SHMGPU_COMMON_FINGERPRINT_HH
+#define SHMGPU_COMMON_FINGERPRINT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace shmgpu
+{
+
+/** Incremental FNV-1a over typed fields. */
+class Fingerprint
+{
+  public:
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            state ^= p[i];
+            state *= 0x100000001B3ull;
+        }
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size()); // length prefix keeps "ab","c" != "a","bc"
+        bytes(s.data(), s.size());
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        // Feed a fixed little-endian image so the hash is
+        // platform-stable (keys cross compilers and machines).
+        unsigned char img[8];
+        for (int i = 0; i < 8; ++i)
+            img[i] = static_cast<unsigned char>(v >> (8 * i));
+        bytes(img, sizeof(img));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t img;
+        static_assert(sizeof(img) == sizeof(v));
+        std::memcpy(&img, &v, sizeof(img));
+        u64(img);
+    }
+
+    void boolean(bool v) { u64(v ? 1 : 0); }
+
+    std::uint64_t value() const { return state; }
+
+  private:
+    std::uint64_t state = 0xCBF29CE484222325ull;
+};
+
+} // namespace shmgpu
+
+#endif // SHMGPU_COMMON_FINGERPRINT_HH

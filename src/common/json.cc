@@ -244,11 +244,19 @@ Value::dump(int indent) const
 namespace
 {
 
+/** Internal signal for Parser's lenient mode; never escapes json.cc. */
+struct ParseFailure
+{
+};
+
 /** Recursive-descent parser over an in-memory document. */
 class Parser
 {
   public:
-    explicit Parser(const std::string &text) : src(text) {}
+    explicit Parser(const std::string &text, bool lenient = false)
+        : src(text), lenient(lenient)
+    {
+    }
 
     Value
     document()
@@ -264,6 +272,8 @@ class Parser
     [[noreturn]] void
     fail(const char *what)
     {
+        if (lenient)
+            throw ParseFailure{};
         shm_fatal("json parse error at offset {}: {}", pos, what);
     }
 
@@ -439,6 +449,7 @@ class Parser
 
     const std::string &src;
     std::size_t pos = 0;
+    bool lenient = false;
 };
 
 } // namespace
@@ -447,6 +458,19 @@ Value
 Value::parse(const std::string &text)
 {
     return Parser(text).document();
+}
+
+bool
+Value::tryParse(const std::string &text, Value *out)
+{
+    try {
+        Value v = Parser(text, /*lenient=*/true).document();
+        if (out)
+            *out = std::move(v);
+        return true;
+    } catch (const ParseFailure &) {
+        return false;
+    }
 }
 
 Value

@@ -51,6 +51,9 @@ class Value
     bool isNull() const { return kind_ == Kind::Null; }
     bool isObject() const { return kind_ == Kind::Object; }
     bool isArray() const { return kind_ == Kind::Array; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isBool() const { return kind_ == Kind::Bool; }
 
     /** @{ Typed accessors; fatal when the kind does not match. */
     bool asBool() const;
@@ -88,6 +91,15 @@ class Value
      *  input (trailing garbage included). */
     static Value parse(const std::string &text);
     static Value parseFile(const std::string &path);
+
+    /**
+     * Non-fatal parse for inputs the program does not control (e.g.
+     * cached result cells that may be truncated or corrupt). Returns
+     * false on malformed input, leaving @p out untouched; on success
+     * stores the document into @p out (when non-null) and returns
+     * true.
+     */
+    static bool tryParse(const std::string &text, Value *out);
 
   private:
     void writeIndented(std::ostream &os, int indent, int depth) const;

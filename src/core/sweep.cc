@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "core/result_cache.hh"
 
 namespace shmgpu::core
 {
@@ -59,11 +60,21 @@ SweepRunner::runCells(const std::vector<SweepCell> &cells,
     const Experiment experiment(baselines, energyConfig);
     std::atomic<std::size_t> next_cell{0};
     std::atomic<bool> stop{false};
+    std::atomic<bool> auto_cancel{false};
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> n_simulated{0};
+    std::atomic<std::size_t> n_cached{0};
     std::vector<std::exception_ptr> errors(n);
+    // Which slots hold finished results — what SweepCancelled keeps.
+    std::vector<std::atomic<bool>> finished(n);
 
     auto cancelled = [&] {
-        return options.cancel && options.cancel->load();
+        return (options.cancel && options.cancel->load()) ||
+               auto_cancel.load();
     };
+
+    const std::string &code_version = codeVersion();
+    const crypto::Backend backend = crypto::activeBackend();
 
     auto worker = [&] {
         while (true) {
@@ -71,7 +82,28 @@ SweepRunner::runCells(const std::vector<SweepCell> &cells,
             if (i >= n || stop.load() || cancelled())
                 return;
             try {
-                results[i] = runCell(experiment, cells[i], options.run);
+                std::uint64_t key = 0;
+                bool hit = false;
+                if (options.cache) {
+                    key = cellKey(baselines->gpuParams(), energyConfig,
+                                  options.run, cells[i].scheme,
+                                  *cells[i].spec, backend, code_version);
+                    hit = options.cache->load(key, &results[i]);
+                }
+                if (!hit) {
+                    results[i] =
+                        runCell(experiment, cells[i], options.run);
+                    // Publish the moment the cell finishes: a sweep
+                    // killed one cell later resumes from here.
+                    if (options.cache)
+                        options.cache->store(key, results[i]);
+                }
+                (hit ? n_cached : n_simulated).fetch_add(1);
+                finished[i].store(true);
+                const std::size_t completed = done.fetch_add(1) + 1;
+                if (options.cancelAfter != 0 &&
+                    completed >= options.cancelAfter)
+                    auto_cancel.store(true);
             } catch (...) {
                 errors[i] = std::current_exception();
                 stop.store(true); // abandon unstarted cells
@@ -90,14 +122,30 @@ SweepRunner::runCells(const std::vector<SweepCell> &cells,
             t.join();
     }
 
+    if (options.tally) {
+        options.tally->simulated = n_simulated.load();
+        options.tally->cached = n_cached.load();
+    }
+
     // Rethrow the failure with the lowest grid index so the caller
     // sees the same error no matter how cells were scheduled.
     for (const auto &err : errors) {
         if (err)
             std::rethrow_exception(err);
     }
-    if (cancelled())
-        throw SweepCancelled();
+    if (cancelled()) {
+        // Hand the finished cells back (grid order, gaps removed):
+        // with a cache attached they are already flushed to disk, so
+        // the caller can report "partial, resumable" instead of
+        // silently discarding completed work.
+        SweepCancelled ex;
+        ex.totalCells = n;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (finished[i].load())
+                ex.partial.push_back(std::move(results[i]));
+        }
+        throw ex;
+    }
     return results;
 }
 

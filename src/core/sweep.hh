@@ -36,6 +36,8 @@
 namespace shmgpu::core
 {
 
+class ResultCache;
+
 /** One grid cell: simulate @p scheme on @p spec. */
 struct SweepCell
 {
@@ -44,11 +46,30 @@ struct SweepCell
     const workload::WorkloadSpec *spec = nullptr;
 };
 
-/** Thrown by SweepRunner::run when the cancel token fires. */
+/**
+ * Thrown by SweepRunner::run when the cancel token fires. Carries the
+ * cells that *did* finish (grid order, gaps removed) so the caller can
+ * report a partial, resumable sweep instead of discarding paid-for
+ * work — with a ResultCache attached those cells are already on disk.
+ */
 class SweepCancelled : public std::runtime_error
 {
   public:
     SweepCancelled() : std::runtime_error("sweep cancelled") {}
+
+    /** Completed cells in grid order (unfinished cells skipped). */
+    std::vector<ExperimentResult> partial;
+    /** Total cells in the cancelled grid. */
+    std::size_t totalCells = 0;
+};
+
+/** How a sweep's cells were satisfied (an output of runCells). */
+struct SweepTally
+{
+    /** Cells actually simulated this run. */
+    std::size_t simulated = 0;
+    /** Cells loaded from the ResultCache instead of simulated. */
+    std::size_t cached = 0;
 };
 
 /** Options for one sweep. */
@@ -64,6 +85,27 @@ struct SweepOptions
      * SweepCancelled (in-flight cells finish first).
      */
     std::shared_ptr<std::atomic<bool>> cancel;
+    /**
+     * Optional persistent cell store (not owned; must outlive the
+     * sweep). When set, each cell's key is looked up before
+     * simulating — a hit is returned as-is (bit-identical to a fresh
+     * run by the cache's round-trip contract) — and every freshly
+     * simulated cell is written back the moment it finishes, which is
+     * what makes interrupted sweeps resumable.
+     */
+    ResultCache *cache = nullptr;
+    /**
+     * Optional tally sink (not owned); filled with the number of
+     * simulated vs cache-loaded cells when run()/runCells() returns
+     * or throws SweepCancelled.
+     */
+    SweepTally *tally = nullptr;
+    /**
+     * Testing/CI knob: fire the cancel path after this many cells
+     * have completed (0 = never). Gives a deterministic way to
+     * interrupt a sweep mid-grid and exercise resume.
+     */
+    std::size_t cancelAfter = 0;
 };
 
 /** Thread-pool executor for experiment grids. */

@@ -1,6 +1,7 @@
 #include "gpu/simulator.hh"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
@@ -659,7 +660,11 @@ GpuSimulator::shardedKernelLoop(Source &source, std::uint32_t window)
         if (pendingTxns > 0) {
             icnt.flushStaged();
             shardPool->runEpoch();
-            icnt.mergeShardStats();
+            // The domain-private crossbar stat shadows are NOT merged
+            // here: they are four integer-valued counts per domain, so
+            // letting them accumulate across epochs and summing once
+            // at kernel teardown produces the same bits while taking
+            // the merge walk off the per-epoch barrier path.
             icnt.forEachReply([&](const mem::TxnReply &r) {
                 sms[r.sm].inflight.push(r.complete);
                 max_completion = std::max(max_completion, r.complete);
@@ -713,6 +718,21 @@ GpuSimulator::shardedKernelLoop(Source &source, std::uint32_t window)
         u.outstanding = 0;
     }
     currentCycle = final_cycle;
+
+    // Kernel teardown: fold the accumulated per-domain stat shadows
+    // into the global counters, overlapped with the trace-lane export
+    // when a tracer is attached. The two touch disjoint data (domain
+    // StatGroups vs the SPSC ring lanes) and the pool workers are
+    // quiescent after the final barrier, so running them concurrently
+    // is race-free; the sum itself is order-independent (integer
+    // counts), keeping results bit-identical to the serial merge.
+    if (tracer) {
+        std::thread merger([this] { icnt.mergeShardStats(); });
+        tracer->drainAll();
+        merger.join();
+    } else {
+        icnt.mergeShardStats();
+    }
 
     std::uint64_t advanced = final_cycle - kernel_start;
     cyclesSkipped += advanced - busy_cycles;

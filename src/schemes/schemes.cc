@@ -31,7 +31,13 @@ schemeFromName(const std::string &name)
             return s;
     if (name == schemeName(Scheme::Baseline))
         return Scheme::Baseline;
-    shm_fatal("unknown scheme '{}'", name);
+    // Name the valid set, like policyFromName/backendFromName do.
+    std::string known = schemeName(Scheme::Baseline);
+    for (Scheme s : allSchemes()) {
+        known += ", ";
+        known += schemeName(s);
+    }
+    shm_fatal("unknown scheme '{}' (expected one of: {})", name, known);
 }
 
 const std::vector<Scheme> &

@@ -26,19 +26,33 @@
  *   shmgpu sweep [--workloads a,b,c] [--schemes X,Y] [--jobs N]
  *                [--cycles N] [--out results.json]
  *                [--policy P | --policies P,Q|all]
+ *                [--zipf-footprints S,... [--zipf-alphas A,...]]
+ *                [--results-dir DIR] [--resume] [--cancel-after N]
  *       Run a (scheme x workload) grid on a worker pool and emit the
  *       structured JSON results sink. Output is bit-identical for any
  *       --jobs value. --policies adds the cache replacement policy
  *       (L2 + metadata caches) as a third, policy-major grid axis,
- *       with a fresh baseline per policy.
+ *       with a fresh baseline per policy. --zipf-footprints /
+ *       --zipf-alphas add a generated footprint x alpha Zipf grid.
+ *       --results-dir makes the sweep incremental: finished cells
+ *       persist one-file-each the moment they complete and later
+ *       sweeps load matching cells instead of re-simulating, so an
+ *       interrupted sweep resumes where it stopped (docs/SWEEP.md).
+ *
+ *   shmgpu bench-sweep [--side N] [--cycles N] [--out FILE]
+ *       Time a Zipf grid cold / warm / half-resumed against one
+ *       results directory (the result-cache benchmark).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "common/json.hh"
@@ -46,11 +60,13 @@
 #include "common/profile.hh"
 #include "core/experiment.hh"
 #include "core/overrides.hh"
+#include "core/result_cache.hh"
 #include "core/sweep.hh"
 #include "crypto/dispatch.hh"
 #include "gpu/presets.hh"
 #include "gpu/simulator.hh"
 #include "mem/replacement.hh"
+#include "workload/benchmarks.hh"
 #include "workload/parser.hh"
 #include "workload/trace_file.hh"
 
@@ -97,7 +113,8 @@ int
 usage()
 {
     std::puts("usage: shmgpu"
-              " <list|run|sweep|trace|trace-info|bench-self> [flags]\n"
+              " <list|run|sweep|trace|trace-info|bench-self|bench-sweep>"
+              " [flags]\n"
               "  shmgpu list\n"
               "  shmgpu run (--workload NAME | --spec FILE) [--scheme SHM]"
               " [--gpu turing|big|test] [--cycles N] [--shards N]"
@@ -110,6 +127,8 @@ usage()
               "  shmgpu sweep [--workloads a,b,c|all] [--schemes X,Y|all]"
               " [--jobs N] [--gpu turing|big|test] [--cycles N]"
               " [--shards N] [--policy P] [--policies P,Q|all]"
+              " [--zipf-footprints S1,S2,... [--zipf-alphas A1,A2,...]]"
+              " [--results-dir DIR] [--resume] [--cancel-after N]"
               " [--overrides CFG] [--out FILE] [--quiet]"
               " [--trace DIR]\n"
               "  shmgpu trace record --workload NAME --out FILE"
@@ -121,7 +140,10 @@ usage()
               " [--gpu turing|big|test] [--shards N] [--policy P]"
               " [--crypto auto|scalar|aesni|vaes] [--overrides CFG]"
               " [--out BENCH_hotpath.json]"
-              " [--profile] [--reference-loop]");
+              " [--profile] [--reference-loop]\n"
+              "  shmgpu bench-sweep [--side N] [--cycles N] [--jobs N]"
+              " [--gpu turing|big|test] [--scheme SHM]"
+              " [--results-dir DIR] [--out BENCH_sweepcache.json]");
     return 2;
 }
 
@@ -294,11 +316,45 @@ splitList(const std::string &csv)
     return out;
 }
 
+/**
+ * Build the Zipf grid requested by --zipf-footprints / --zipf-alphas
+ * into owned specs, footprint-major. Empty when the axes are absent.
+ */
+std::vector<workload::WorkloadSpec>
+zipfGrid(const Args &args)
+{
+    std::vector<workload::WorkloadSpec> specs;
+    std::string footprints = args.get("zipf-footprints");
+    if (footprints.empty()) {
+        if (args.has("zipf-alphas"))
+            shm_fatal("--zipf-alphas needs --zipf-footprints");
+        return specs;
+    }
+    std::vector<std::uint64_t> sizes;
+    for (const auto &tok : splitList(footprints))
+        sizes.push_back(workload::parseSize(tok));
+    std::vector<double> alphas;
+    for (const auto &tok : splitList(args.get("zipf-alphas", "0.8")))
+        alphas.push_back(std::stod(tok));
+    specs.reserve(sizes.size() * alphas.size());
+    for (auto fp : sizes)
+        for (double a : alphas)
+            specs.push_back(workload::makeZipfSpec(fp, a));
+    return specs;
+}
+
 int
 cmdSweep(const Args &args)
 {
+    // Owned storage for the generated Zipf axes; fully built before
+    // any pointer is taken so `workloads` never dangles.
+    const std::vector<workload::WorkloadSpec> zipf_specs = zipfGrid(args);
+
     std::vector<const workload::WorkloadSpec *> workloads;
-    std::string workload_list = args.get("workloads", "all");
+    // With explicit Zipf axes the paper workloads only join in when
+    // asked for by name; without them the default stays "all".
+    std::string workload_list =
+        args.get("workloads", zipf_specs.empty() ? "all" : "");
     if (workload_list == "all") {
         for (const auto &w : workload::allWorkloads())
             workloads.push_back(&w);
@@ -306,6 +362,8 @@ cmdSweep(const Args &args)
         for (const auto &name : splitList(workload_list))
             workloads.push_back(&workload::findWorkload(name));
     }
+    for (const auto &z : zipf_specs)
+        workloads.push_back(&z);
     if (workloads.empty())
         shm_fatal("sweep selects no workloads");
 
@@ -332,25 +390,63 @@ cmdSweep(const Args &args)
     gpu::GpuParams gp = gpuParamsFrom(args, &sweep_opts.run.traceParams,
                                       &sweep_opts.run.mdcPolicy);
 
+    // Persistent cell store: cells load instead of simulating on key
+    // hits and flush to disk the moment they finish, which is what
+    // makes interrupted sweeps resumable.
+    std::unique_ptr<core::ResultCache> cache;
+    std::string results_dir = args.get("results-dir");
+    if (args.has("resume") && results_dir.empty())
+        shm_fatal("--resume needs --results-dir DIR (the cell store "
+                  "the interrupted sweep wrote)");
+    if (!results_dir.empty()) {
+        cache = std::make_unique<core::ResultCache>(results_dir);
+        sweep_opts.cache = cache.get();
+    }
+    core::SweepTally tally;
+    sweep_opts.tally = &tally;
+    std::string cancel_after = args.get("cancel-after");
+    if (!cancel_after.empty())
+        sweep_opts.cancelAfter = std::stoull(cancel_after);
+
     std::vector<core::ExperimentResult> results;
     std::string policy_list = args.get("policies");
-    if (!policy_list.empty()) {
-        // Policy-major third grid axis; a fresh runner (and baseline)
-        // per policy, since the L2 policy moves the baseline IPC.
-        std::vector<mem::PolicyKind> policies;
-        if (policy_list == "all") {
-            policies = mem::allPolicies();
+    try {
+        if (!policy_list.empty()) {
+            // Policy-major third grid axis; a fresh runner (and
+            // baseline) per policy, since the L2 policy moves the
+            // baseline IPC.
+            std::vector<mem::PolicyKind> policies;
+            if (policy_list == "all") {
+                policies = mem::allPolicies();
+            } else {
+                for (const auto &name : splitList(policy_list))
+                    policies.push_back(mem::policyFromName(name));
+            }
+            if (policies.empty())
+                shm_fatal("sweep selects no policies");
+            results = core::runPolicyGrid(gp, policies, designs,
+                                          workloads, sweep_opts);
         } else {
-            for (const auto &name : splitList(policy_list))
-                policies.push_back(mem::policyFromName(name));
+            core::SweepRunner runner(gp);
+            results = runner.run(designs, workloads, sweep_opts);
         }
-        if (policies.empty())
-            shm_fatal("sweep selects no policies");
-        results = core::runPolicyGrid(gp, policies, designs, workloads,
-                                      sweep_opts);
-    } else {
-        core::SweepRunner runner(gp);
-        results = runner.run(designs, workloads, sweep_opts);
+    } catch (const core::SweepCancelled &cancelled) {
+        // Completed cells are kept, not discarded: with a results dir
+        // they are already on disk and the sweep is resumable.
+        std::printf("sweep cancelled: %zu of %zu cells finished "
+                    "(%zu simulated, %zu from cache)\n",
+                    cancelled.partial.size(), cancelled.totalCells,
+                    tally.simulated, tally.cached);
+        if (cache)
+            std::printf("partial, resumable: finished cells are in "
+                        "%s; rerun the same sweep with --results-dir "
+                        "%s to pick up where this one stopped\n",
+                        results_dir.c_str(), results_dir.c_str());
+        else
+            std::printf("partial results lost (no --results-dir; "
+                        "pass one to make cancelled sweeps "
+                        "resumable)\n");
+        return 3;
     }
 
     if (!args.has("quiet")) {
@@ -365,6 +461,10 @@ cmdSweep(const Args &args)
                         schemes::schemeName(s), core::geomean(col));
         }
     }
+
+    if (cache)
+        std::printf("cells: %zu simulated, %zu loaded from %s\n",
+                    tally.simulated, tally.cached, results_dir.c_str());
 
     std::string out = args.get("out");
     if (!out.empty()) {
@@ -506,6 +606,131 @@ cmdBenchSelf(const Args &args)
 
     if (args.has("profile"))
         profile::report(std::cout);
+    return 0;
+}
+
+/**
+ * Result-cache benchmark: time one (side x side) Zipf grid three ways
+ * against the same results directory — cold (starting empty), warm
+ * (fully populated: every cell loads, nothing simulates), and
+ * half-resumed (every other cell file deleted, the state an
+ * interrupted sweep leaves behind) — and emit BENCH_sweepcache.json.
+ * The warm/cold ratio is the headline number: it is what
+ * `sweep --results-dir` buys a rerun of an already-computed grid.
+ */
+int
+cmdBenchSweep(const Args &args)
+{
+    const unsigned side = static_cast<unsigned>(
+        std::stoul(args.get("side", "32")));
+    shm_assert(side > 0, "bench-sweep needs a positive --side");
+    std::uint64_t cycles = std::stoull(args.get("cycles", "2000"));
+    unsigned jobs = static_cast<unsigned>(
+        std::stoul(args.get("jobs", "1")));
+    std::string out = args.get("out", "BENCH_sweepcache.json");
+    std::string dir = args.get("results-dir", "bench-sweep-cache");
+    auto scheme = schemes::schemeFromName(args.get("scheme", "SHM"));
+
+    log_detail::setVerbose(false);
+
+    gpu::GpuParams gp = gpu::presetByName(args.get("gpu", "test"));
+    gp.maxCyclesPerKernel = cycles;
+
+    // The footprint x alpha grid: footprints step up from 64K,
+    // alphas sweep the near-uniform..strongly-skewed band.
+    std::vector<workload::WorkloadSpec> specs;
+    specs.reserve(static_cast<std::size_t>(side) * side);
+    for (unsigned i = 0; i < side; ++i) {
+        std::uint64_t footprint = (64ull + 16ull * i) << 10;
+        for (unsigned j = 0; j < side; ++j) {
+            double alpha = 0.05 * (j + 1);
+            specs.push_back(workload::makeZipfSpec(footprint, alpha));
+        }
+    }
+    std::vector<const workload::WorkloadSpec *> workloads;
+    workloads.reserve(specs.size());
+    for (const auto &s : specs)
+        workloads.push_back(&s);
+    const std::size_t cells = workloads.size();
+
+    // The bench owns its directory: always start cold.
+    std::filesystem::remove_all(dir);
+
+    using clock = std::chrono::steady_clock;
+    auto timed = [&](const char *label, core::SweepTally *tally) {
+        core::ResultCache cache(dir);
+        core::SweepOptions opts;
+        opts.jobs = jobs;
+        opts.cache = &cache;
+        opts.tally = tally;
+        core::SweepRunner runner(gp);
+        auto t0 = clock::now();
+        runner.run({scheme}, workloads, opts);
+        double secs =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        std::printf("%-13s %zu cells in %8.3f s  "
+                    "(%zu simulated, %zu from cache)\n",
+                    label, cells, secs, tally->simulated,
+                    tally->cached);
+        return secs;
+    };
+
+    core::SweepTally cold_tally, warm_tally, half_tally;
+    double cold_secs = timed("cold", &cold_tally);
+    double warm_secs = timed("warm", &warm_tally);
+
+    // Interrupt simulation: drop every other cell file (sorted, so
+    // the survivors are the same set on every run).
+    std::vector<std::filesystem::path> files;
+    for (const auto &entry : std::filesystem::directory_iterator(dir))
+        files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    for (std::size_t i = 0; i < files.size(); i += 2)
+        std::filesystem::remove(files[i]);
+    double half_secs = timed("half-resumed", &half_tally);
+
+    shm_assert(warm_tally.simulated == 0,
+               "warm pass simulated cells; the cache key is unstable");
+    std::printf("warm speedup: %.1fx  half-resume speedup: %.1fx\n",
+                cold_secs / warm_secs, cold_secs / half_secs);
+
+    json::Value doc = json::Value::object();
+    doc["benchmark"] = "bench-sweep";
+    doc["gpu"] = args.get("gpu", "test");
+    doc["kernel_loop"] = gp.referenceKernelLoop ? "reference" : "event";
+    doc["policy"] = mem::policyName(gp.l2Policy);
+    doc["shards"] = static_cast<std::uint64_t>(gp.shards);
+    doc["cryptoBackend"] = crypto::backendName(crypto::activeBackend());
+    doc["max_cycles_per_kernel"] = cycles;
+    doc["cells"] = static_cast<std::uint64_t>(cells);
+    doc["jobs"] = static_cast<std::uint64_t>(jobs);
+    // Config keys for compare_baseline.py: the bench always starts
+    // from an empty directory, and "zipf" pins the grid shape.
+    doc["resultsDir"] = "ephemeral";
+    char zdesc[32];
+    std::snprintf(zdesc, sizeof(zdesc), "%ux%u", side, side);
+    doc["zipf"] = zdesc;
+    doc["scheme"] = schemes::schemeName(scheme);
+    doc["cold_seconds"] = cold_secs;
+    doc["warm_seconds"] = warm_secs;
+    doc["half_resume_seconds"] = half_secs;
+    doc["warm_speedup"] = cold_secs / warm_secs;
+    doc["cold_simulated"] =
+        static_cast<std::uint64_t>(cold_tally.simulated);
+    doc["warm_cached"] = static_cast<std::uint64_t>(warm_tally.cached);
+    doc["half_resume_simulated"] =
+        static_cast<std::uint64_t>(half_tally.simulated);
+    // The warm pass is the comparable throughput figure (pure cache
+    // reads; no simulation noise).
+    doc["best_cells_per_second"] =
+        static_cast<double>(cells) / warm_secs;
+
+    std::ofstream os(out, std::ios::binary);
+    if (!os)
+        shm_fatal("cannot open '{}' for writing", out);
+    doc.write(os, 2);
+    os << "\n";
+    std::printf("benchmark results written to %s\n", out.c_str());
     return 0;
 }
 
@@ -664,6 +889,8 @@ main(int argc, char **argv)
         return cmdSweep(Args(argc, argv, 2));
     if (cmd == "bench-self")
         return cmdBenchSelf(Args(argc, argv, 2));
+    if (cmd == "bench-sweep")
+        return cmdBenchSweep(Args(argc, argv, 2));
     // Check before "trace": that prefix names the workload-trace
     // subcommands, while trace-info summarizes a --trace export.
     if (cmd == "trace-info")

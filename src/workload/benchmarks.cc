@@ -1,5 +1,7 @@
 #include "workload/benchmarks.hh"
 
+#include <cstdio>
+
 #include "common/logging.hh"
 
 namespace shmgpu::workload
@@ -533,7 +535,15 @@ findWorkload(const std::string &name)
     for (const auto &w : allWorkloads())
         if (w.name == name)
             return w;
-    shm_fatal("unknown workload '{}'", name);
+    // Name the valid set, like policyFromName/backendFromName do:
+    // a typo in a sweep list should fail before any cell simulates.
+    std::string known;
+    for (const auto &w : allWorkloads()) {
+        if (!known.empty())
+            known += ", ";
+        known += w.name;
+    }
+    shm_fatal("unknown workload '{}' (expected one of: {})", name, known);
 }
 
 WorkloadSpec
@@ -588,6 +598,50 @@ makeMixedMicro()
         {"mixed", 2048, 3,
          {readStream(0), readRandom(1, 0.5), writeStream(2, 0.25)},
          copies({0, 1})},
+    };
+    return w;
+}
+
+WorkloadSpec
+makeZipfSpec(std::uint64_t footprint_bytes, double alpha,
+             std::uint64_t seed, std::uint64_t iterations)
+{
+    shm_assert(footprint_bytes >= 64,
+               "zipf footprint {} below two sectors", footprint_bytes);
+    shm_assert(alpha >= 0.0 && alpha <= 8.0,
+               "zipf alpha {} outside [0, 8]", alpha);
+
+    // Deterministic name: footprint in KiB plus alpha at fixed
+    // precision, so a (footprint x alpha) grid yields unique,
+    // sort-stable workload labels ("zipf-4096K-a0.80").
+    char name[64];
+    std::snprintf(name, sizeof(name), "zipf-%lluK-a%.2f",
+                  static_cast<unsigned long long>(footprint_bytes >>
+                                                  10),
+                  alpha);
+
+    WorkloadSpec w;
+    w.name = name;
+    w.suite = "zipf";
+    w.seed = seed;
+    // Two buffers share the footprint: a read-mostly table (the
+    // skewed working set, host-initialized so the read-only detector
+    // has something to find) and a small output the kernel scatters
+    // into — the classic key-value-lookup shape lsc's zipf_test.cfg
+    // models.
+    std::uint64_t table = footprint_bytes - footprint_bytes / 8;
+    std::uint64_t out = footprint_bytes / 8;
+    w.buffers = {
+        {"table", std::max<std::uint64_t>(table, 32), MemSpace::Global},
+        {"out", std::max<std::uint64_t>(out, 32), MemSpace::Global},
+    };
+    StreamSpec lookup;
+    lookup.buffer = 0;
+    lookup.pattern = Pattern::Zipf;
+    lookup.zipfAlpha = alpha;
+    StreamSpec store = writeRandom(1, 0.25);
+    w.kernels = {
+        {"lookup", iterations, 3, {lookup, store}, copies({0})},
     };
     return w;
 }

@@ -36,6 +36,20 @@ WorkloadSpec makeMixedMicro();
 WorkloadSpec makeMultiKernelMicro();
 /** @} */
 
+/**
+ * Zipf-parameterized synthetic workload (cf. lsc's zipf_test.cfg): a
+ * host-initialized lookup table read with power-law sector skew
+ * @p alpha over a total device footprint of @p footprint_bytes, plus
+ * a small scattered output stream. (footprint x alpha) make natural
+ * sweep axes — `shmgpu sweep --zipf` builds thousand-cell grids from
+ * them. Deterministic for a given (footprint, alpha, seed) triple;
+ * the name encodes footprint and alpha, and workload::contentHash
+ * separates specs that merely share a name.
+ */
+WorkloadSpec makeZipfSpec(std::uint64_t footprint_bytes, double alpha,
+                          std::uint64_t seed = 11,
+                          std::uint64_t iterations = 2048);
+
 } // namespace shmgpu::workload
 
 #endif // SHMGPU_WORKLOAD_BENCHMARKS_HH

@@ -193,6 +193,11 @@ parseWorkload(std::istream &in, const std::string &origin)
                 stream.pattern = Pattern::Strided;
                 stream.strideSectors = parseUnsigned(toks[3], where);
                 next = 4;
+            } else if (pattern == "zipf") {
+                need(4);
+                stream.pattern = Pattern::Zipf;
+                stream.zipfAlpha = std::stod(toks[3]);
+                next = 4;
             } else {
                 shm_fatal("{}: unknown pattern '{}'", where, pattern);
             }

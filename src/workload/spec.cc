@@ -1,8 +1,7 @@
 #include "workload/spec.hh"
 
-#include <cstring>
-
 #include "common/bitops.hh"
+#include "common/fingerprint.hh"
 #include "common/logging.hh"
 
 namespace shmgpu::workload
@@ -48,6 +47,11 @@ validateSpec(const WorkloadSpec &spec)
             if (st.pattern == Pattern::Strided && st.strideSectors == 0)
                 shm_fatal("kernel '{}' in '{}': zero stride", k.name,
                           spec.name);
+            if (st.pattern == Pattern::Zipf &&
+                (st.zipfAlpha < 0.0 || st.zipfAlpha > 8.0))
+                shm_fatal("kernel '{}' in '{}': zipf alpha {} outside "
+                          "[0, 8]",
+                          k.name, spec.name, st.zipfAlpha);
         }
         for (const auto &copy : k.preCopies) {
             if (copy.buffer >= spec.buffers.size())
@@ -84,62 +88,15 @@ footprintBytes(const WorkloadSpec &spec)
     return offsets.back() + spec.buffers.back().bytes;
 }
 
-namespace
-{
-
-/** Order- and field-sensitive FNV-1a accumulator. */
-class SpecHasher
-{
-  public:
-    void
-    bytes(const void *data, std::size_t n)
-    {
-        const auto *p = static_cast<const unsigned char *>(data);
-        for (std::size_t i = 0; i < n; ++i) {
-            state ^= p[i];
-            state *= 0x100000001B3ull;
-        }
-    }
-
-    void
-    str(const std::string &s)
-    {
-        u64(s.size()); // length prefix keeps "ab","c" != "a","bc"
-        bytes(s.data(), s.size());
-    }
-
-    void
-    u64(std::uint64_t v)
-    {
-        // Feed a fixed little-endian image so the hash is
-        // platform-stable (golden files cross compilers).
-        unsigned char img[8];
-        for (int i = 0; i < 8; ++i)
-            img[i] = static_cast<unsigned char>(v >> (8 * i));
-        bytes(img, sizeof(img));
-    }
-
-    void
-    f64(double v)
-    {
-        std::uint64_t img;
-        static_assert(sizeof(img) == sizeof(v));
-        std::memcpy(&img, &v, sizeof(img));
-        u64(img);
-    }
-
-    std::uint64_t value() const { return state; }
-
-  private:
-    std::uint64_t state = 0xCBF29CE484222325ull;
-};
-
-} // namespace
-
 std::uint64_t
 contentHash(const WorkloadSpec &spec)
 {
-    SpecHasher h;
+    // Fingerprint (common/fingerprint.hh) is the shared accumulator;
+    // feeding every simulation-relevant field in declaration order
+    // keeps this the authoritative "two specs simulate identically"
+    // predicate for both the in-memory baseline cache and the on-disk
+    // sweep result cache.
+    Fingerprint h;
     h.str(spec.name);
     h.str(spec.suite);
     h.u64(spec.seed);
@@ -164,6 +121,7 @@ contentHash(const WorkloadSpec &spec)
             h.f64(st.hotFraction);
             h.f64(st.hotProb);
             h.u64(st.strideSectors);
+            h.f64(st.zipfAlpha);
         }
         h.u64(k.preCopies.size());
         for (const auto &copy : k.preCopies) {

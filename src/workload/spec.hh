@@ -29,8 +29,9 @@ enum class Pattern : std::uint8_t
     Streaming,  //!< sequential sectors; every block of a chunk touched
     Random,     //!< uniform random sectors over the whole buffer
     RandomHot,  //!< random, biased into a small hot subset (locality)
-    Strided     //!< fixed-stride walk (column-major / interleaved
+    Strided,    //!< fixed-stride walk (column-major / interleaved
                 //!< structure-of-arrays access; partial chunk coverage)
+    Zipf        //!< power-law sector ranks (skew knob: zipfAlpha)
 };
 
 /** A device memory buffer. */
@@ -73,6 +74,15 @@ struct StreamSpec
     double hotProb = 0.8;
     /** For Strided: sectors skipped between consecutive accesses. */
     std::uint64_t strideSectors = 16;
+    /**
+     * For Zipf: the skew exponent. Sector ranks follow a truncated
+     * power law with density ~ rank^-alpha over the buffer: 0 is
+     * uniform, ~0.99 matches classic web/key-value skew (cf. YCSB's
+     * zipfian constant), and >1 concentrates almost all traffic on a
+     * handful of hot sectors. The hot head is the low end of the
+     * buffer, like RandomHot's hot set.
+     */
+    double zipfAlpha = 0.8;
 };
 
 /** One kernel launch. */

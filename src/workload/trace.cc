@@ -1,5 +1,7 @@
 #include "workload/trace.hh"
 
+#include <cmath>
+
 #include "common/bitops.hh"
 #include "common/logging.hh"
 
@@ -17,6 +19,22 @@ KernelTrace::KernelTrace(const WorkloadSpec &workload_spec,
                "kernel '{}' has no streams", kernelSpec.name);
     smStates.resize(numSms);
     streamTickets.assign(kernelSpec.streams.size(), 0);
+    zipfConsts.resize(kernelSpec.streams.size());
+    for (std::size_t i = 0; i < kernelSpec.streams.size(); ++i) {
+        const StreamSpec &st = kernelSpec.streams[i];
+        if (st.pattern != Pattern::Zipf)
+            continue;
+        const BufferSpec &buf = spec.buffers.at(st.buffer);
+        double n = static_cast<double>(buf.bytes / sectorBytes);
+        ZipfConst &zc = zipfConsts[i];
+        if (std::abs(st.zipfAlpha - 1.0) < 1e-9) {
+            zc.scale = std::log(n + 1.0);
+            zc.invExp = 0; // log path
+        } else {
+            zc.scale = std::pow(n + 1.0, 1.0 - st.zipfAlpha) - 1.0;
+            zc.invExp = 1.0 / (1.0 - st.zipfAlpha);
+        }
+    }
     for (std::uint32_t sm = 0; sm < numSms; ++sm) {
         SmState &st = smStates[sm];
         st.rng = Rng(spec.seed * 0x1000193u + kernel_idx * 131u + sm);
@@ -55,6 +73,26 @@ KernelTrace::streamAddr(SmId sm, std::uint32_t stream_idx)
             sector = st.rng.below(hot);
         else
             sector = st.rng.below(sectors);
+        break;
+      }
+      case Pattern::Zipf: {
+        // Inverse CDF of the truncated continuous power law with
+        // density ~ x^-alpha over x in [1, n+1): rank
+        //   x = (1 + u * ((n+1)^(1-a) - 1))^(1/(1-a))        (a != 1)
+        //   x = e^(u * ln(n+1))                              (a == 1)
+        // mapped to sector rank-1. Low sectors form the hot head
+        // (rank 1 is the hottest), alpha=0 degenerates to uniform.
+        // One pow per sample; the buffer-dependent constants are
+        // precomputed in the constructor.
+        const ZipfConst &zc = zipfConsts[stream_idx];
+        double u = st.rng.uniform();
+        double x = zc.invExp == 0
+                       ? std::exp(u * zc.scale)
+                       : std::pow(1.0 + u * zc.scale, zc.invExp);
+        std::uint64_t rank = static_cast<std::uint64_t>(x);
+        if (rank < 1)
+            rank = 1;
+        sector = std::min<std::uint64_t>(rank - 1, sectors - 1);
         break;
       }
       case Pattern::Strided: {

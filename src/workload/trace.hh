@@ -68,6 +68,17 @@ class KernelTrace
 
     Addr streamAddr(SmId sm, std::uint32_t stream_idx);
 
+    /**
+     * Precomputed inverse-CDF constants for Zipf streams (identity
+     * values for other patterns): one std::pow per sample instead of
+     * three. See streamAddr for the sampling math.
+     */
+    struct ZipfConst
+    {
+        double scale = 0;  //!< (n+1)^(1-alpha) - 1, or ln(n+1) at a=1
+        double invExp = 0; //!< 1/(1-alpha); 0 flags the a=1 log path
+    };
+
     const WorkloadSpec &spec;
     const KernelSpec &kernelSpec;
     std::vector<Addr> bases;
@@ -81,6 +92,7 @@ class KernelTrace
      * observe a chunk's full coverage within one monitoring phase.
      */
     std::vector<std::uint64_t> streamTickets;
+    std::vector<ZipfConst> zipfConsts; //!< per stream, Zipf only
     std::uint32_t liveSms;
 };
 

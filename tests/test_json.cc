@@ -106,6 +106,22 @@ TEST(Json, ParseErrorsAreFatal)
     EXPECT_DEATH(Value::parse("nope"), "json parse");
 }
 
+TEST(Json, TryParseNeverDies)
+{
+    // The lenient entry point for input the program does not control
+    // (result-cache cells): malformed text is a false, not an exit.
+    Value out(123.0);
+    EXPECT_FALSE(Value::tryParse("{\"unterminated\": ", &out));
+    EXPECT_EQ(out.asNumber(), 123.0); // untouched on failure
+    EXPECT_FALSE(Value::tryParse("[1, 2] trailing", &out));
+    EXPECT_FALSE(Value::tryParse("", &out));
+    EXPECT_FALSE(Value::tryParse("nope", &out));
+
+    ASSERT_TRUE(Value::tryParse("{\"a\": [1, true, \"x\"]}", &out));
+    EXPECT_EQ(out.at("a").size(), 3u);
+    EXPECT_TRUE(Value::tryParse("42", nullptr)); // probe-only form
+}
+
 TEST(Json, KindMismatchesAreFatal)
 {
     EXPECT_DEATH(Value(1.0).asString(), "not a string");

@@ -96,6 +96,28 @@ kernel k iters=16 compute=1
     EXPECT_DOUBLE_EQ(w.kernels[0].streams[0].prob, 0.5);
 }
 
+TEST(Parser, ZipfPattern)
+{
+    WorkloadSpec w = parse(R"(
+workload z
+buffer table 1M
+kernel lookup iters=16 compute=1
+  read table zipf 0.9 p=0.5
+)");
+    ASSERT_EQ(w.kernels[0].streams.size(), 1u);
+    EXPECT_EQ(w.kernels[0].streams[0].pattern, Pattern::Zipf);
+    EXPECT_DOUBLE_EQ(w.kernels[0].streams[0].zipfAlpha, 0.9);
+    EXPECT_DOUBLE_EQ(w.kernels[0].streams[0].prob, 0.5);
+
+    // Alpha is mandatory, and validation bounds it.
+    EXPECT_DEATH(parse("workload z\nbuffer b 1M\nkernel k iters=1\n"
+                       "  read b zipf\n"),
+                 "at least 3 arguments");
+    EXPECT_DEATH(parse("workload z\nbuffer b 1M\nkernel k iters=1\n"
+                       "  read b zipf 99\n"),
+                 "zipf alpha");
+}
+
 TEST(Parser, ErrorsCarryFileAndLine)
 {
     EXPECT_DEATH(parse("workload w\nbuffer b 1M\nfrobnicate\n"),

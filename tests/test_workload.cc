@@ -246,6 +246,93 @@ TEST(KernelTrace, StridedSweepsCoverEverythingEventually)
     EXPECT_EQ(seen.size(), 2048u);
 }
 
+TEST(KernelTrace, ZipfConcentratesOnTheLowHead)
+{
+    WorkloadSpec w;
+    w.name = "zipf";
+    w.seed = 6;
+    w.buffers = {{"b", 1 << 20, MemSpace::Global}};
+    w.kernels = {{"k", 8000, 0,
+                  {{0, Pattern::Zipf, false, 1.0, 0, 0, 0, 1.2}},
+                  {}}};
+    auto bases = layoutBuffers(w);
+    KernelTrace t(w, bases, 0, 1);
+
+    // alpha=1.2 puts most of the mass on the first few percent of
+    // sectors; a uniform stream would leave ~2% there.
+    std::uint64_t head_bytes = (1 << 20) / 50;
+    int in_head = 0, total = 0;
+    TraceOp op;
+    while (t.next(0, op)) {
+        ++total;
+        in_head += (op.addr - bases[0]) < head_bytes;
+    }
+    EXPECT_EQ(total, 8000);
+    EXPECT_GT(in_head / 8000.0, 0.5);
+}
+
+TEST(KernelTrace, ZipfSkewGrowsWithAlpha)
+{
+    auto head_fraction = [](double alpha) {
+        WorkloadSpec w;
+        w.name = "zipf";
+        w.seed = 7;
+        w.buffers = {{"b", 1 << 20, MemSpace::Global}};
+        w.kernels = {{"k", 8000, 0,
+                      {{0, Pattern::Zipf, false, 1.0, 0, 0, 0, alpha}},
+                      {}}};
+        auto bases = layoutBuffers(w);
+        KernelTrace t(w, bases, 0, 1);
+        std::uint64_t head_bytes = (1 << 20) / 10;
+        int in_head = 0;
+        TraceOp op;
+        while (t.next(0, op))
+            in_head += (op.addr - bases[0]) < head_bytes;
+        return in_head / 8000.0;
+    };
+    double low = head_fraction(0.2);
+    double mid = head_fraction(0.8);
+    double high = head_fraction(1.5);
+    EXPECT_LT(low, mid);
+    EXPECT_LT(mid, high);
+    // Near-uniform at the bottom of the knob, near-total at the top.
+    EXPECT_LT(low, 0.35);
+    EXPECT_GT(high, 0.85);
+}
+
+TEST(KernelTrace, ZipfIsDeterministicPerSeed)
+{
+    auto spec = makeZipfSpec(1 << 20, 0.9, /*seed=*/21);
+    auto bases = layoutBuffers(spec);
+    KernelTrace a(spec, bases, 0, 1);
+    KernelTrace b(spec, bases, 0, 1);
+    TraceOp oa, ob;
+    while (true) {
+        bool more_a = a.next(0, oa);
+        bool more_b = b.next(0, ob);
+        ASSERT_EQ(more_a, more_b);
+        if (!more_a)
+            break;
+        EXPECT_EQ(oa.addr, ob.addr);
+    }
+}
+
+TEST(WorkloadSpecs, ZipfSpecsAreValidAndContentDistinct)
+{
+    auto a = makeZipfSpec(1 << 20, 0.5);
+    auto b = makeZipfSpec(1 << 20, 0.9);
+    auto c = makeZipfSpec(1 << 21, 0.5);
+    validateSpec(a);
+    validateSpec(b);
+    validateSpec(c);
+    // alpha and footprint both reach contentHash (and so the sweep
+    // result-cache key); the names differ too, but the hash must not
+    // rely on that.
+    EXPECT_NE(contentHash(a), contentHash(b));
+    EXPECT_NE(contentHash(a), contentHash(c));
+    EXPECT_EQ(contentHash(a), contentHash(makeZipfSpec(1 << 20, 0.5)));
+}
+
 TEST(WorkloadValidation, AcceptsAllBuiltins)
 {
     for (const auto &w : allWorkloads())
@@ -254,6 +341,7 @@ TEST(WorkloadValidation, AcceptsAllBuiltins)
     validateSpec(makeRandomMicro());
     validateSpec(makeMixedMicro());
     validateSpec(makeMultiKernelMicro());
+    validateSpec(makeZipfSpec(1 << 20, 0.8));
 }
 
 TEST(WorkloadValidation, RejectsBadSpecs)
@@ -273,4 +361,8 @@ TEST(WorkloadValidation, RejectsBadSpecs)
     w = makeStreamingMicro();
     w.kernels[0].streams.clear();
     EXPECT_DEATH(validateSpec(w), "no streams");
+
+    w = makeZipfSpec(1 << 20, 0.8);
+    w.kernels[0].streams[0].zipfAlpha = -0.5;
+    EXPECT_DEATH(validateSpec(w), "zipf");
 }
