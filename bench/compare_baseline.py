@@ -31,10 +31,15 @@ import sys
 # state the bench started from and the Zipf grid shape both move its
 # timings, so runs recorded against different values are not
 # comparable. Both are absent from bench-self files on each side, so
-# bench-self comparisons are unaffected.
+# bench-self comparisons are unaffected. "scenario" and "tenants"
+# scope bench-tenants results (BENCH_tenants.json): a multi-tenant
+# run's cost scales with the mix, so only identically-shaped scenario
+# benches compare — and the keys keep a bench-tenants file from ever
+# being compared against a single-workload baseline.
 CONFIG_KEYS = ("benchmark", "gpu", "kernel_loop", "policy",
                "max_cycles_per_kernel", "cells", "shards",
-               "cryptoBackend", "resultsDir", "zipf")
+               "cryptoBackend", "resultsDir", "zipf", "scenario",
+               "tenants")
 
 
 def load(path):

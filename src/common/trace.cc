@@ -276,6 +276,8 @@ Tracer::writeChromeJson(std::ostream &os)
         buf += std::to_string(e.cycle);
         buf += ",\"args\":{\"component\":";
         buf += std::to_string(e.component);
+        buf += ",\"tenant\":";
+        buf += std::to_string(e.tenant);
         buf += ",\"payload\":\"";
         appendHexU64(buf, e.payload);
         buf += "\"}}";
@@ -302,6 +304,8 @@ Tracer::writeText(std::ostream &os)
         buf += kindName(e.kind);
         buf += " component=";
         buf += std::to_string(e.component);
+        buf += " tenant=";
+        buf += std::to_string(e.tenant);
         buf += " payload=";
         appendHexU64(buf, e.payload);
         buf += '\n';

@@ -135,13 +135,16 @@ const char *className(EventClass cls);
  */
 std::uint32_t parseClassMask(const std::string &csv);
 
-/** One recorded event. Compact: 24 bytes. */
+/** One recorded event. Compact: still 24 bytes — the tenant id lives
+ *  in what used to be struct padding. */
 struct Event
 {
     Cycle cycle = 0;
     std::uint64_t payload = 0;
     std::uint16_t component = 0; //!< SM id or partition id
     EventKind kind = EventKind::KernelBegin;
+    /** Owning tenant in scenario runs; 0 for single-workload runs. */
+    std::uint16_t tenant = 0;
 };
 
 /** User-facing tracer configuration (trace.* config keys). */
@@ -176,6 +179,14 @@ class Tracer
     void setLaneName(std::uint32_t lane, std::string name);
 
     /**
+     * Stamp subsequent events with tenant @p id (scenario runs set it
+     * at every context switch / tenant dispatch). Only meaningful when
+     * all producers run on the simulation thread — the scenario engine
+     * clamps the shard engine to one shard, so that holds.
+     */
+    void setActiveTenant(std::uint16_t id) { activeTenant = id; }
+
+    /**
      * Record one event on @p lane. Producer-side; safe from the lane's
      * single current producer only.
      */
@@ -186,7 +197,7 @@ class Tracer
         if (!(config.classMask & classBit(classOf(kind))))
             return;
         Lane &l = lanes[lane];
-        const Event e{cycle, payload, component, kind};
+        const Event e{cycle, payload, component, kind, activeTenant};
         if (l.ring->tryPush(e))
             return;
         if (l.shared) {
@@ -244,6 +255,7 @@ class Tracer
 
     TraceParams config;
     std::vector<Lane> lanes;
+    std::uint16_t activeTenant = 0;
 };
 
 } // namespace shmgpu::trace

@@ -113,6 +113,29 @@ cellKey(const gpu::GpuParams &gpu, const gpu::EnergyParams &energy,
     return h.value();
 }
 
+std::uint64_t
+scenarioCellKey(const gpu::GpuParams &gpu, const gpu::EnergyParams &energy,
+                bool with_solo, mem::PolicyKind mdc_policy,
+                schemes::Scheme scheme,
+                const workload::ScenarioSpec &scenario,
+                crypto::Backend backend, const std::string &code_version)
+{
+    Fingerprint h;
+    h.str(code_version);
+    h.u64(static_cast<std::uint64_t>(ResultCache::kSchemaVersion));
+    // Domain tag: a scenario cell never aliases a single-workload
+    // cell that happens to share every other fingerprint input.
+    h.str("scenario");
+    addGpuParams(h, gpu);
+    addEnergyParams(h, energy);
+    h.boolean(with_solo);
+    h.str(mem::policyName(mdc_policy));
+    h.str(schemes::schemeName(scheme));
+    h.str(crypto::backendName(backend));
+    h.u64(workload::contentHash(scenario));
+    return h.value();
+}
+
 std::string
 ResultCache::fileName(std::uint64_t key)
 {
@@ -138,6 +161,24 @@ bool
 ResultCache::load(std::uint64_t key, ExperimentResult *out) const
 {
     shm_assert(out != nullptr, "load needs a destination");
+    json::Value payload;
+    if (!loadValue(key, "result", &payload))
+        return false;
+    *out = resultFromJson(payload);
+    return true;
+}
+
+void
+ResultCache::store(std::uint64_t key, const ExperimentResult &result) const
+{
+    storeValue(key, "result", resultToJson(result));
+}
+
+bool
+ResultCache::loadValue(std::uint64_t key, const std::string &kind,
+                       json::Value *out) const
+{
+    shm_assert(out != nullptr, "load needs a destination");
     const std::string path = dir + "/" + fileName(key);
     std::ifstream in(path, std::ios::binary);
     if (!in)
@@ -147,35 +188,39 @@ ResultCache::load(std::uint64_t key, ExperimentResult *out) const
 
     // A cell file another build wrote, a truncated leftover from a
     // hand-copied directory, or plain corruption are all just misses:
-    // the sweep re-simulates and overwrites.
+    // the sweep re-simulates and overwrites. So is a cell of another
+    // kind (a scenario cell under a sweep loader or vice versa).
     json::Value doc;
     if (!json::Value::tryParse(text.str(), &doc))
         return false;
     if (!doc.isObject() || !doc.contains("schemaVersion") ||
-        !doc.contains("key") || !doc.contains("result"))
+        !doc.contains("key") || !doc.contains(kind))
         return false;
     if (!doc.at("schemaVersion").isNumber() ||
         doc.at("schemaVersion").asNumber() != kSchemaVersion)
         return false;
-    // Past the stamps, the file is one store() wrote: resultFromJson
-    // may assume our own shape (and is fatal when it does not hold).
+    // Past the stamps, the file is one storeValue() wrote: the
+    // payload parser may assume our own shape (and be fatal when it
+    // does not hold).
     if (!doc.at("key").isString() ||
         doc.at("key").asString() != fileName(key))
         return false;
-    *out = resultFromJson(doc.at("result"));
+    *out = doc.at(kind);
     return true;
 }
 
 void
-ResultCache::store(std::uint64_t key, const ExperimentResult &result) const
+ResultCache::storeValue(std::uint64_t key, const std::string &kind,
+                        const json::Value &payload) const
 {
     json::Value doc = json::Value::object();
     doc["schemaVersion"] = json::Value(kSchemaVersion);
-    // Stamp the file with its own name: load() rejects files renamed
-    // onto another key, and the stamp survives directory copies.
+    // Stamp the file with its own name: loadValue() rejects files
+    // renamed onto another key, and the stamp survives directory
+    // copies.
     doc["key"] = json::Value(fileName(key));
     doc["codeVersion"] = json::Value(codeVersion());
-    doc["result"] = resultToJson(result);
+    doc[kind] = payload;
 
     const std::string final_path = dir + "/" + fileName(key);
     const std::string tmp_path = final_path + ".tmp";
@@ -198,11 +243,8 @@ ResultCache::store(std::uint64_t key, const ExperimentResult &result) const
                   ec.message());
 }
 
-namespace
-{
-
 void
-metricsFromJson(const json::Value &v, gpu::RunMetrics *m)
+runMetricsFromJson(const json::Value &v, gpu::RunMetrics *m)
 {
     auto u64 = [&](const char *key) {
         return static_cast<std::uint64_t>(v.at(key).asNumber());
@@ -247,8 +289,6 @@ metricsFromJson(const json::Value &v, gpu::RunMetrics *m)
     m->energy.hashes = eu64("hashes");
 }
 
-} // namespace
-
 ExperimentResult
 resultFromJson(const json::Value &v)
 {
@@ -260,8 +300,8 @@ resultFromJson(const json::Value &v)
     r.normalizedIpc = v.at("normalizedIpc").asNumber();
     r.normalizedEnergyPerInstr =
         v.at("normalizedEnergyPerInstr").asNumber();
-    metricsFromJson(v.at("metrics"), &r.metrics);
-    metricsFromJson(v.at("baseline"), &r.baseline);
+    runMetricsFromJson(v.at("metrics"), &r.metrics);
+    runMetricsFromJson(v.at("baseline"), &r.baseline);
     return r;
 }
 

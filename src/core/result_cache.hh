@@ -49,6 +49,7 @@
 #include "crypto/dispatch.hh"
 #include "gpu/energy.hh"
 #include "gpu/params.hh"
+#include "workload/scenario.hh"
 
 namespace shmgpu::core
 {
@@ -72,6 +73,28 @@ std::uint64_t cellKey(const gpu::GpuParams &gpu,
                       const workload::WorkloadSpec &spec,
                       crypto::Backend backend,
                       const std::string &code_version = codeVersion());
+
+/**
+ * The cell key of one multi-tenant scenario cell (core/scenario.hh).
+ * Same fingerprint inputs as cellKey — full GpuParams/EnergyParams,
+ * scheme, crypto backend, code version — with the workload hash
+ * replaced by workload::contentHash(scenario) (which folds in every
+ * tenant's workload, arrivals, share policy, quantum, MDC-flush flag
+ * and key seed), the metrics-relevant scenario run options
+ * (withSolo adds the solo-reference fields to the cell; mdcPolicy
+ * steers the metadata caches), and a "scenario" domain tag so a
+ * scenario cell can never collide with a single-workload cell of the
+ * same configuration.
+ */
+std::uint64_t scenarioCellKey(const gpu::GpuParams &gpu,
+                              const gpu::EnergyParams &energy,
+                              bool with_solo,
+                              mem::PolicyKind mdc_policy,
+                              schemes::Scheme scheme,
+                              const workload::ScenarioSpec &scenario,
+                              crypto::Backend backend,
+                              const std::string &code_version =
+                                  codeVersion());
 
 /** One-file-per-cell persistent result store (see file comment). */
 class ResultCache
@@ -103,6 +126,22 @@ class ResultCache
      */
     void store(std::uint64_t key, const ExperimentResult &result) const;
 
+    /**
+     * Generic kind-tagged cell storage, the layer load()/store() are
+     * built on. @p kind names the payload member inside the cell file
+     * ("result" for sweep cells, "scenarioResult" for scenario cells),
+     * so a loader can never misinterpret a cell of another kind: a
+     * file whose payload member does not match @p kind is a miss.
+     * Distinct kinds also hash distinct key domains (cellKey vs
+     * scenarioCellKey), so they never collide on file names either.
+     */
+    bool loadValue(std::uint64_t key, const std::string &kind,
+                   json::Value *out) const;
+    /** Persist @p payload under @p key with the @p kind tag (same
+     *  temp-file-then-rename publication as store()). */
+    void storeValue(std::uint64_t key, const std::string &kind,
+                    const json::Value &payload) const;
+
     /** The on-disk file name for @p key ("cell-<16 hex>.json"). */
     static std::string fileName(std::uint64_t key);
 
@@ -120,6 +159,10 @@ class ResultCache
  * before they reach this.
  */
 ExperimentResult resultFromJson(const json::Value &v);
+
+/** Rebuild a RunMetrics from runMetricsToJson output (exact inverse;
+ *  fatal on missing members). */
+void runMetricsFromJson(const json::Value &v, gpu::RunMetrics *metrics);
 
 } // namespace shmgpu::core
 

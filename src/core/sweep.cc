@@ -171,11 +171,8 @@ runPolicyGrid(const gpu::GpuParams &base,
     return all;
 }
 
-namespace
-{
-
 json::Value
-metricsToJson(const gpu::RunMetrics &m)
+runMetricsToJson(const gpu::RunMetrics &m)
 {
     json::Value v = json::Value::object();
     v["cycles"] = json::Value(static_cast<std::uint64_t>(m.cycles));
@@ -219,8 +216,6 @@ metricsToJson(const gpu::RunMetrics &m)
     return v;
 }
 
-} // namespace
-
 json::Value
 resultToJson(const ExperimentResult &result)
 {
@@ -233,8 +228,8 @@ resultToJson(const ExperimentResult &result)
     v["overhead"] = json::Value(result.overhead());
     v["normalizedEnergyPerInstr"] =
         json::Value(result.normalizedEnergyPerInstr);
-    v["metrics"] = metricsToJson(result.metrics);
-    v["baseline"] = metricsToJson(result.baseline);
+    v["metrics"] = runMetricsToJson(result.metrics);
+    v["baseline"] = runMetricsToJson(result.baseline);
     return v;
 }
 

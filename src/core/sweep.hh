@@ -177,6 +177,11 @@ runPolicyGrid(const gpu::GpuParams &base,
 /** One result as a JSON object (all metrics, fixed member order). */
 json::Value resultToJson(const ExperimentResult &result);
 
+/** One RunMetrics as a JSON object (fixed member order; shared by the
+ *  sweep and scenario sinks — exact round-trip with
+ *  runMetricsFromJson). */
+json::Value runMetricsToJson(const gpu::RunMetrics &metrics);
+
 /**
  * The full results document: {"schemaVersion", "results": [...]}
  * plus per-scheme geomean summaries. Deterministic: depends only on

@@ -21,4 +21,14 @@ generateKeys(std::uint64_t context_seed)
     return keys;
 }
 
+KeyTuple
+generateTenantKeys(std::uint64_t master_seed, std::uint32_t tenant_id)
+{
+    // Golden-ratio multiply spreads adjacent tenant ids across the
+    // seed space; tenant 0 contributes nothing, so its tuple is the
+    // legacy context tuple.
+    return generateKeys(master_seed ^
+                        (0x9E3779B97F4A7C15ull * tenant_id));
+}
+
 } // namespace shmgpu::crypto

@@ -33,6 +33,17 @@ struct KeyTuple
  */
 KeyTuple generateKeys(std::uint64_t context_seed);
 
+/**
+ * Derive tenant @p tenant_id's key domain from a master seed. Each
+ * tenant of a shared GPU gets an independent (K1, K2, K3) tuple, so
+ * no tenant can decrypt or authenticate another tenant's lines even
+ * with full physical access to the shared DRAM. Tenant 0's domain is
+ * exactly generateKeys(master_seed) — a lone tenant is the legacy
+ * single-context case.
+ */
+KeyTuple generateTenantKeys(std::uint64_t master_seed,
+                            std::uint32_t tenant_id);
+
 } // namespace shmgpu::crypto
 
 #endif // SHMGPU_CRYPTO_KEYGEN_HH

@@ -54,6 +54,13 @@ ReadOnlyDetector::resetReadOnly(LocalAddr base, std::uint64_t bytes)
 }
 
 void
+ReadOnlyDetector::reset()
+{
+    for (Entry &e : entries)
+        e = Entry{};
+}
+
+void
 ReadOnlyDetector::pinReadOnly(LocalAddr base, std::uint64_t bytes)
 {
     // A tagless bit vector cannot safely exempt declared regions from

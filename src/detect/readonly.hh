@@ -80,6 +80,15 @@ class ReadOnlyDetector
     void resetReadOnly(LocalAddr base, std::uint64_t bytes);
 
     /**
+     * Context switch: drop all predictor state back to power-on
+     * defaults (every entry 0 / never-set). The incoming tenant's
+     * input regions are re-armed afterwards via markInputRegion —
+     * the InputReadOnlyReset path — so one tenant's writes can never
+     * leak not-read-only provenance into another's attribution.
+     */
+    void reset();
+
+    /**
      * Programming-model hint (e.g. an OpenCL CL_MEM_READ_ONLY
      * buffer): mark the covered regions read-only. Equivalent to an
      * initializing copy; it exists because hinted buffers need no

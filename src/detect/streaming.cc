@@ -197,6 +197,23 @@ StreamingDetector::finalizeAll(Cycle now, std::vector<DetectionEvent> &events)
 }
 
 void
+StreamingDetector::reset()
+{
+    for (Entry &e : entries)
+        e = Entry{};
+    if (config.trackers > 0) {
+        for (Tracker &t : trackers)
+            t = Tracker{};
+    } else {
+        trackers.clear(); // oracle mode grows the pool on demand
+    }
+    for (CooldownEntry &c : cooldown)
+        c = CooldownEntry{};
+    cooldownNext = 0;
+    remonitorTick = 0;
+}
+
+void
 StreamingDetector::primePrediction(std::uint64_t chunk, bool streaming)
 {
     Entry &e = entries[indexOf(chunk)];

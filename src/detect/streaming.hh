@@ -129,6 +129,15 @@ class StreamingDetector
     void finalizeAll(Cycle now, std::vector<DetectionEvent> &events);
 
     /**
+     * Context switch: restore the power-on state — bit vector back to
+     * its eager all-streaming initialization, every MAT invalid,
+     * cooldown ring and re-monitor pacing cleared. Callers wanting
+     * the in-flight phases accounted first run finalizeAll() before
+     * resetting (the MEE's contextSwitch does).
+     */
+    void reset();
+
+    /**
      * Force a prediction (SHM_upper_bound initializes the vector from
      * a profiling pass).
      */

@@ -7,6 +7,8 @@
 #define SHMGPU_GPU_METRICS_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/types.hh"
 #include "gpu/energy.hh"
@@ -73,6 +75,48 @@ struct RunMetrics
     /** @} */
 
     EnergyActivity energy;
+};
+
+/** One tenant's attributed share of a scenario run. */
+struct TenantRunMetrics
+{
+    std::string name;
+    Cycle arrivalCycle = 0;
+    Cycle startCycle = 0;  //!< first dispatch
+    Cycle finishCycle = 0; //!< last kernel retired
+    std::uint64_t instructions = 0;
+    std::uint64_t windowStalls = 0;
+    std::uint64_t kernelsRun = 0;
+    /** Dispatches of this tenant (1 + resumptions; time-sliced). */
+    std::uint64_t dispatches = 0;
+    /** Turnaround IPC: instructions over (finish - arrival). */
+    double ipc = 0;
+
+    /** @{ MEE activity attributed while the tenant owned the engine
+     *  (summed over its partitions' shadow tallies). */
+    std::uint64_t memReads = 0;
+    std::uint64_t memWrites = 0;
+    std::uint64_t mdcAccesses = 0;
+    std::uint64_t mdcHits = 0;
+    double mdcHitRate = 0;
+    std::uint64_t roCorrect = 0;
+    std::uint64_t roMispredicts = 0;
+    double roAccuracy = 0; //!< correct / (correct + mispredicted)
+    std::uint64_t strCorrect = 0;
+    std::uint64_t strMispredicts = 0;
+    double strAccuracy = 0;
+    /** @} */
+};
+
+/** A finished multi-tenant scenario run. */
+struct ScenarioMetrics
+{
+    /** Whole-GPU aggregates (same shape as a single-workload run). */
+    RunMetrics total;
+    std::vector<TenantRunMetrics> tenants;
+    std::uint64_t contextSwitches = 0;
+    /** Dirty metadata lines written back by switch-time MDC flushes. */
+    std::uint64_t mdcFlushWritebacks = 0;
 };
 
 } // namespace shmgpu::gpu

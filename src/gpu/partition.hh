@@ -61,6 +61,14 @@ class Partition : public mee::VictimCacheIf
     /** Kernel boundary: MEE bookkeeping + sampling reset. */
     void kernelBoundary(Cycle now);
 
+    /** Tenant context switch: detector flush/reset (and optionally an
+     *  MDC flush) in this partition's MEE. Returns the number of
+     *  metadata write-backs the flush emitted. */
+    std::uint64_t contextSwitch(Cycle now, bool flush_mdc)
+    {
+        return engine.contextSwitch(now, flush_mdc);
+    }
+
     /** Attach a profile collector (pass 1) or truth profile. */
     void collectInto(detect::AccessProfile *profile) { collector = profile; }
     void setTruthProfile(const detect::AccessProfile *profile)

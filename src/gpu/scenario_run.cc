@@ -1,0 +1,737 @@
+/**
+ * @file
+ * The multi-tenant context/stream engine.
+ *
+ * A scenario multiplexes N tenant contexts over one GpuSimulator. The
+ * engine is deliberately serial (the constructor clamps the shard
+ * engine to one shard), which makes --shards/--jobs determinism
+ * trivial and lets the time-sliced mode save and restore a tenant's
+ * whole execution context — SM units, pending calendar events, the
+ * remaining kernel cycle budget — with two vector swaps.
+ *
+ * Time-sliced mode: a round-robin scheduler gives the whole GPU to one
+ * tenant per quantum. Preemption freezes the tenant's progress: its
+ * calendar events are drained into per-tenant storage as deltas
+ * against the switch cycle and re-based on resume, while in-flight
+ * load completions stay absolute (the loads were already served by the
+ * memory system; the SM just observes them later). Each switch flushes
+ * the detectors (MeeEngine::contextSwitch), optionally the metadata
+ * caches, and re-arms the incoming tenant's read-only input regions
+ * through the InputReadOnlyReset path by replaying its host copies.
+ *
+ * Partitioned (MIG-style) mode: contiguous SM and memory-partition
+ * splits, all tenants concurrent on one shared calendar, no switches
+ * and no flushes. Each tenant routes accesses through a private
+ * AddressMap over its own partitions, so the per-partition local
+ * spaces — and with local metadata addressing, the metadata
+ * geometries — are fully disjoint.
+ *
+ * The per-kernel arithmetic in stepSmEvent/computeKernelTail is the
+ * event engine's (simulator.cc eventKernelLoop) verbatim, with the
+ * loop locals lifted into TenantContext so a kernel can pause at a
+ * slice boundary. A single-tenant scenario never switches, so its
+ * event sequence — and every statistic and trace byte — is identical
+ * to the legacy path (tests/test_scenario.cc pins this).
+ */
+
+#include "gpu/simulator.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/profile.hh"
+
+namespace shmgpu::gpu
+{
+
+namespace
+{
+
+/** Package one SM memory op as an explicit transaction message. */
+mem::Transaction
+makeTxn(const workload::TraceOp &op, const mem::PartitionAddr &pa,
+        SmId sm, Cycle now)
+{
+    return {.phys = op.addr,
+            .local = pa.local,
+            .issue = now,
+            .partition = pa.partition,
+            .sm = sm,
+            .bytes = op.bytes,
+            .type = op.type,
+            .space = op.space};
+}
+
+Cycle
+saturatingAdd(Cycle base, Cycle delta)
+{
+    return delta > invalidCycle - base ? invalidCycle : base + delta;
+}
+
+/** Round @p value up to a multiple of @p align (any align, not just
+ *  powers of two — a 12-partition GPU's stride is not one). */
+Addr
+roundUpTo(Addr value, Addr align)
+{
+    return divCeil(value, align) * align;
+}
+
+} // namespace
+
+void
+GpuSimulator::initScenario()
+{
+    const workload::ScenarioSpec &scn = *scenario;
+    const auto n = static_cast<std::uint32_t>(scn.tenants.size());
+
+    for (auto &p : partitions)
+        p->mee().enableTenantTallies(n);
+
+    tenants = std::vector<TenantContext>(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        TenantContext &t = tenants[i];
+        t.spec = &scn.tenants[i];
+        t.id = static_cast<std::uint16_t>(i);
+        t.state = TenantContext::State::NotArrived;
+        t.wake = t.spec->arrivalCycle;
+    }
+
+    if (scn.policy == workload::SharePolicy::Partitioned) {
+        shm_assert(!meeConfig.secure || meeConfig.localMetadataAddressing,
+                   "partitioned scenarios require local metadata "
+                   "addressing: a global metadata geometry would alias "
+                   "the tenants' overlapping per-partition spaces");
+        shm_assert(n <= gpuConfig.numSms && n <= gpuConfig.numPartitions,
+                   "scenario '{}' has {} tenants but only {} SMs / {} "
+                   "partitions to split",
+                   scn.name, n, gpuConfig.numSms, gpuConfig.numPartitions);
+        const std::uint32_t sm_base = gpuConfig.numSms / n;
+        const std::uint32_t sm_rem = gpuConfig.numSms % n;
+        const std::uint32_t part_base = gpuConfig.numPartitions / n;
+        const std::uint32_t part_rem = gpuConfig.numPartitions % n;
+        std::uint32_t sm_cursor = 0;
+        PartitionId part_cursor = 0;
+        tenantOfSm.assign(gpuConfig.numSms, 0);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            TenantContext &t = tenants[i];
+            t.smLo = sm_cursor;
+            t.smHi = sm_cursor + sm_base + (i < sm_rem ? 1 : 0);
+            sm_cursor = t.smHi;
+            t.partLo = part_cursor;
+            t.partHi = static_cast<PartitionId>(
+                part_cursor + part_base + (i < part_rem ? 1 : 0));
+            part_cursor = t.partHi;
+            t.ownedMap = std::make_unique<mem::AddressMap>(
+                t.numParts(), gpuConfig.interleaveBytes);
+            t.addrMap = t.ownedMap.get();
+            t.bufferBases = workload::layoutBuffers(t.spec->workload);
+            const Addr footprint =
+                workload::footprintBytes(t.spec->workload);
+            shm_assert(footprint <= gpuConfig.protectedBytesPerPartition *
+                                        t.numParts(),
+                       "tenant '{}' ({} B) exceeds its partition slice's "
+                       "protected space",
+                       t.spec->name, footprint);
+            for (std::uint32_t s = t.smLo; s < t.smHi; ++s)
+                tenantOfSm[s] = t.id;
+            // Static ownership: stamp the tenant once so the shadow
+            // tallies attribute every access for the whole run.
+            for (PartitionId p = t.partLo; p < t.partHi; ++p)
+                partitions[p]->mee().setActiveTenant(t.id);
+        }
+        return;
+    }
+
+    // Time-sliced: every tenant sees the whole GPU through the global
+    // address map, with its buffers stacked at disjoint bases. Bases
+    // are aligned to a whole number of detector regions and stream
+    // chunks per partition so no RO region or chunk straddles two
+    // tenants, and to the 64 KiB buffer granularity layoutBuffers
+    // assumes (tenant 0 starts at 0, so a single-tenant scenario's
+    // layout is exactly the legacy layout).
+    const Addr granule =
+        std::max<Addr>({meeConfig.roDetector.regionBytes,
+                        meeConfig.streamDetector.chunkBytes,
+                        Addr{64} * 1024});
+    const Addr align = granule * gpuConfig.numPartitions;
+    Addr base = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        TenantContext &t = tenants[i];
+        t.smLo = 0;
+        t.smHi = gpuConfig.numSms;
+        t.partLo = 0;
+        t.partHi = static_cast<PartitionId>(gpuConfig.numPartitions);
+        t.addrMap = &map;
+        t.bufferBases = workload::layoutBuffers(t.spec->workload, base);
+        const Addr end = base + workload::footprintBytes(t.spec->workload);
+        shm_assert(end <= gpuConfig.protectedBytesPerPartition *
+                              gpuConfig.numPartitions,
+                   "scenario '{}' exceeds the protected space at tenant "
+                   "'{}' ({} B cumulative)",
+                   scn.name, t.spec->name, end);
+        base = roundUpTo(end, align);
+        t.savedSms.resize(gpuConfig.numSms);
+        for (auto &u : t.savedSms)
+            u.inflight.reserve(gpuConfig.smWindow);
+    }
+}
+
+ScenarioMetrics
+GpuSimulator::runScenario()
+{
+    shm_assert(scenario, "runScenario() requires the scenario constructor");
+
+    if (scenario->policy == workload::SharePolicy::TimeSliced)
+        runTimeSliced();
+    else
+        runPartitioned();
+
+    if (collector)
+        collector->finalize(currentCycle);
+
+    statCycles.set(static_cast<double>(currentCycle));
+    std::uint64_t instructions = 0;
+    std::uint64_t window_stalls = 0;
+    for (const auto &t : tenants) {
+        instructions += t.instructions;
+        window_stalls += t.windowStalls;
+    }
+    statInstructions.set(static_cast<double>(instructions));
+    statWindowStalls.set(static_cast<double>(window_stalls));
+    statCyclesSkipped.set(static_cast<double>(cyclesSkipped));
+
+    return gatherScenarioMetrics();
+}
+
+void
+GpuSimulator::runTimeSliced()
+{
+    profile::ScopedTimer timer(profile::Phase::KernelLoop);
+    using State = TenantContext::State;
+
+    const auto n = static_cast<std::uint32_t>(tenants.size());
+    const Cycle quantum = scenario->quantumCycles;
+    Cycle now = 0;
+    std::uint32_t rr = 0; //!< round-robin scan start
+
+    for (;;) {
+        // Pick the first schedulable tenant at or after rr; if every
+        // unfinished tenant is waiting (arrival or drain), jump the
+        // clock to the earliest wake instead of enumerating idle time.
+        std::uint32_t pick = n;
+        bool any_unfinished = false;
+        Cycle min_wake = invalidCycle;
+        for (std::uint32_t k = 0; k < n; ++k) {
+            const std::uint32_t i = (rr + k) % n;
+            TenantContext &t = tenants[i];
+            if (t.state == State::Finished)
+                continue;
+            any_unfinished = true;
+            if (t.state == State::Running || t.wake <= now) {
+                if (pick == n)
+                    pick = i;
+            } else {
+                min_wake = std::min(min_wake, t.wake);
+            }
+        }
+        if (!any_unfinished)
+            break;
+        if (pick == n) {
+            now = min_wake;
+            continue;
+        }
+
+        // Only an actual change of tenant costs a switch: a lone
+        // tenant replays the legacy engine untouched.
+        if (static_cast<int>(pick) != activeTenant)
+            contextSwitchTo(pick, now);
+
+        const Cycle slice_end = saturatingAdd(now, quantum);
+        now = runTenantSlice(tenants[pick], now, slice_end);
+        rr = (pick + 1) % n;
+    }
+
+    currentCycle = 0;
+    for (const auto &t : tenants)
+        currentCycle = std::max(currentCycle, t.finishCycle);
+}
+
+void
+GpuSimulator::runPartitioned()
+{
+    profile::ScopedTimer timer(profile::Phase::KernelLoop);
+    using State = TenantContext::State;
+
+    // Tenant lifecycle wakeups: arrivals, then each kernel's drain
+    // completion. Processed in (cycle, tenant) order, and before any
+    // calendar event at the same or a later cycle — so every calendar
+    // push a wakeup triggers lands at or after the wheel's cursor.
+    std::vector<std::pair<Cycle, std::uint32_t>> wakes;
+    wakes.reserve(tenants.size());
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(tenants.size()); ++i)
+        wakes.emplace_back(tenants[i].spec->arrivalCycle, i);
+
+    while (!wakes.empty() || !calendar.empty()) {
+        if (!wakes.empty()) {
+            auto it = std::min_element(wakes.begin(), wakes.end());
+            const Cycle next_event =
+                calendar.empty() ? invalidCycle : calendar.minCycle();
+            if (it->first <= next_event) {
+                const auto [at, i] = *it;
+                wakes.erase(it);
+                TenantContext &t = tenants[i];
+                if (t.state == State::NotArrived) {
+                    t.state = State::Running;
+                    t.startCycle = at;
+                    ++t.dispatches;
+                    startTenantKernel(t, at);
+                } else {
+                    advanceTenantKernel(t, at);
+                }
+                continue;
+            }
+        }
+
+        const auto [now, sm] = calendar.popMin();
+        TenantContext &t = tenants[tenantOfSm[sm]];
+        --t.eventsPending;
+        if (now != t.cursor) {
+            t.cursor = now;
+            ++t.busyCycles;
+        }
+        if (tracer)
+            tracer->setActiveTenant(t.id);
+        stepSmEvent(t, static_cast<SmId>(sm), now);
+
+        if (t.kernelActive && t.eventsPending == 0) {
+            // The tenant's slice went quiet: compute where its kernel
+            // actually ends and park it until then.
+            const Cycle fin = computeKernelTail(t);
+            t.state = State::Draining;
+            t.wake = fin;
+            wakes.emplace_back(fin, static_cast<std::uint32_t>(t.id));
+        }
+    }
+
+    currentCycle = 0;
+    for (const auto &t : tenants)
+        currentCycle = std::max(currentCycle, t.finishCycle);
+}
+
+Cycle
+GpuSimulator::runTenantSlice(TenantContext &t, Cycle now, Cycle slice_end)
+{
+    using State = TenantContext::State;
+
+    if (t.state == State::NotArrived) {
+        t.state = State::Running;
+        t.startCycle = now;
+        startTenantKernel(t, now);
+    } else if (t.state == State::Draining) {
+        // The previous kernel's tail was already computed; retire it
+        // at the dispatch cycle (the tenant could not launch its next
+        // kernel while preempted). A lone tenant is always dispatched
+        // exactly at its wake cycle, so this matches the legacy path.
+        advanceTenantKernel(t, now);
+        if (t.state == State::Finished)
+            return now;
+    }
+
+    while (t.state == State::Running) {
+        if (!calendar.empty() && calendar.minCycle() < slice_end)
+            processTenantEvents(t, slice_end);
+        if (!calendar.empty())
+            return slice_end; // preempted mid-kernel by the quantum
+
+        const Cycle fin = computeKernelTail(t);
+        if (fin > slice_end) {
+            t.state = State::Draining;
+            t.wake = fin;
+            return slice_end;
+        }
+        advanceTenantKernel(t, fin);
+        if (t.state == State::Finished)
+            return fin;
+        // Next kernel launched at fin; keep running inside the slice.
+    }
+    return slice_end;
+}
+
+void
+GpuSimulator::processTenantEvents(TenantContext &t, Cycle limit)
+{
+    while (!calendar.empty() && calendar.minCycle() < limit) {
+        const auto [now, sm] = calendar.popMin();
+        --t.eventsPending;
+        if (now != t.cursor) {
+            if (tracer && t.cursor != invalidCycle && now > t.cursor + 1)
+                tracer->record(smLane, trace::EventKind::CalendarSkip,
+                               now, static_cast<std::uint16_t>(sm),
+                               now - t.cursor - 1);
+            t.cursor = now;
+            ++t.busyCycles;
+        }
+        stepSmEvent(t, static_cast<SmId>(sm), now);
+    }
+}
+
+/**
+ * One calendar event for one SM — eventKernelLoop's loop body with the
+ * kernel locals living in the tenant context. Any divergence here
+ * breaks the single-tenant bit-identity pin.
+ */
+void
+GpuSimulator::stepSmEvent(TenantContext &t, SmId sm, Cycle now)
+{
+    SmUnit &u = sms[sm];
+
+    // Retire this SM's completed loads before its window check.
+    while (!u.inflight.empty() && u.inflight.top() <= now) {
+        u.inflight.pop();
+        shm_assert(u.outstanding > 0, "spurious completion");
+        --u.outstanding;
+    }
+
+    if (!u.hasOp) {
+        if (!t.source->next(static_cast<SmId>(sm - t.smLo), u.op)) {
+            u.drained = true;
+            ++t.drained;
+            t.lastDrain = now;
+            return;
+        }
+        u.hasOp = true;
+        u.pa = t.addrMap->toLocal(u.op.addr);
+        // A partitioned tenant's private map yields slice-relative
+        // partition indices; lift them to global ids (partLo is 0 in
+        // time-sliced mode, so this is the legacy math there).
+        u.pa.partition =
+            static_cast<PartitionId>(u.pa.partition + t.partLo);
+        if (u.op.computeInstrs > 0) {
+            Cycle n = u.op.computeInstrs;
+            Cycle avail = t.capEnd - now; // >= 1 by the invariant
+            u.instructions += std::min(n, avail);
+            if (tracer)
+                tracer->record(smLane, trace::EventKind::SmRetire, now,
+                               static_cast<std::uint16_t>(sm),
+                               std::min(n, avail));
+            if (n < avail) {
+                calendar.push(now + n, sm);
+                ++t.eventsPending;
+            }
+            return;
+        }
+        // computeInstrs == 0: the fetch cycle issues the memory op.
+    }
+
+    const mem::PartitionAddr pa = u.pa;
+    Partition &part = *partitions[pa.partition];
+
+    if (u.op.type == mem::AccessType::Read) {
+        if (u.outstanding >= t.window) {
+            Cycle retry =
+                u.inflight.empty() ? t.capEnd : u.inflight.top();
+            u.windowStalls += std::min(retry, t.capEnd) - now;
+            if (retry < t.capEnd) {
+                calendar.push(retry, sm);
+                ++t.eventsPending;
+            }
+            return;
+        }
+        if (tracer)
+            tracer->record(smLane, trace::EventKind::SmIssue, now,
+                           static_cast<std::uint16_t>(sm), u.op.addr);
+        Cycle complete = icnt.serveNow(makeTxn(u.op, pa, sm, now), part);
+        u.inflight.push(complete);
+        t.maxCompletion = std::max(t.maxCompletion, complete);
+        ++u.outstanding;
+    } else {
+        if (tracer)
+            tracer->record(smLane, trace::EventKind::SmIssue, now,
+                           static_cast<std::uint16_t>(sm),
+                           u.op.addr | (1ull << 63));
+        icnt.serveNow(makeTxn(u.op, pa, sm, now), part);
+    }
+    ++u.instructions;
+    u.hasOp = false;
+    if (now + 1 < t.capEnd) {
+        calendar.push(now + 1, sm); // back-to-back issue
+        ++t.eventsPending;
+    }
+}
+
+/**
+ * The tenant's calendar went quiet: wind forward to where the kernel
+ * actually ends, exactly as eventKernelLoop's epilogue does.
+ */
+Cycle
+GpuSimulator::computeKernelTail(TenantContext &t)
+{
+    Cycle final_cycle;
+    bool cap_hit;
+    if (t.drained == t.numSms()) {
+        const Cycle done = std::max(t.lastDrain, t.maxCompletion);
+        cap_hit = done >= t.capEnd;
+        final_cycle = cap_hit ? t.capEnd : done + 1;
+    } else {
+        // Some SM was frozen by the cap mid-compute or mid-stall.
+        cap_hit = true;
+        final_cycle = t.capEnd;
+    }
+    if (cap_hit)
+        ++statCycleCapHits;
+    for (std::uint32_t s = t.smLo; s < t.smHi; ++s) {
+        sms[s].inflight.clear();
+        sms[s].outstanding = 0;
+    }
+
+    const std::uint64_t advanced = final_cycle - t.kernelStart;
+    cyclesSkipped += advanced - t.busyCycles;
+    if (profile::enabled()) {
+        profile::addCount(profile::Counter::KernelCycles, advanced);
+        profile::addCount(profile::Counter::CyclesSkipped,
+                          advanced - t.busyCycles);
+    }
+    return final_cycle;
+}
+
+void
+GpuSimulator::startTenantKernel(TenantContext &t, Cycle at)
+{
+    const workload::WorkloadSpec &wl = t.spec->workload;
+    const auto &kspec = wl.kernels[t.nextKernel];
+
+    for (const auto &copy : kspec.preCopies)
+        applyTenantHostCopy(t, t.bufferBases.at(copy.buffer),
+                            copy.marksReadOnly
+                                ? wl.buffers.at(copy.buffer).bytes
+                                : 0,
+                            copy.declaredReadOnly);
+
+    t.source = std::make_unique<workload::KernelTrace>(
+        wl, t.bufferBases, t.nextKernel, t.numSms());
+    t.window = kspec.maxOutstanding
+                   ? std::min(kspec.maxOutstanding, gpuConfig.smWindow)
+                   : gpuConfig.smWindow;
+
+    t.kernelTraceIdx = static_cast<std::uint64_t>(statKernelsRun.value());
+    if (tracer) {
+        tracer->setActiveTenant(t.id);
+        tracer->record(smLane, trace::EventKind::KernelBegin, at, 0,
+                       t.kernelTraceIdx);
+    }
+
+    t.kernelActive = true;
+    t.kernelStart = at;
+    t.capEnd = saturatingAdd(at, gpuConfig.maxCyclesPerKernel);
+    t.maxCompletion = 0;
+    t.lastDrain = at;
+    t.cursor = invalidCycle;
+    t.busyCycles = 0;
+    t.drained = 0;
+    for (std::uint32_t s = t.smLo; s < t.smHi; ++s) {
+        SmUnit &u = sms[s];
+        u.hasOp = false;
+        u.computeLeft = 0;
+        u.drained = false;
+        shm_assert(u.inflight.empty(), "in-flight loads across kernels");
+        calendar.push(at, s);
+        ++t.eventsPending;
+    }
+    ++t.nextKernel;
+}
+
+/**
+ * Retire the current kernel at @p at (its precomputed end, or the
+ * dispatch cycle of a drain-preempted tenant) and launch the next one
+ * — the same boundary sequence as the legacy runKernelLoop.
+ */
+void
+GpuSimulator::advanceTenantKernel(TenantContext &t, Cycle at)
+{
+    using State = TenantContext::State;
+
+    currentCycle = at;
+    for (PartitionId p = t.partLo; p < t.partHi; ++p)
+        partitions[p]->kernelBoundary(at);
+    ++statKernelsRun;
+    ++t.kernelsRun;
+    if (tracer) {
+        tracer->setActiveTenant(t.id);
+        tracer->record(smLane, trace::EventKind::KernelEnd, at, 0,
+                       t.kernelTraceIdx);
+        // Producers are quiescent between kernels: bank everything.
+        tracer->drainAll();
+    }
+    t.kernelActive = false;
+    t.source.reset();
+
+    if (t.nextKernel <
+        static_cast<std::uint32_t>(t.spec->workload.kernels.size())) {
+        startTenantKernel(t, at);
+        t.state = State::Running;
+    } else {
+        t.state = State::Finished;
+        t.finishCycle = at;
+        // Harvest the tenant's SM counters while it still owns them.
+        for (std::uint32_t s = t.smLo; s < t.smHi; ++s) {
+            t.instructions += sms[s].instructions;
+            t.windowStalls += sms[s].windowStalls;
+        }
+    }
+}
+
+/**
+ * Switch the GPU from the active tenant (if any) to @p pick at @p now:
+ * flush the detectors (and optionally the MDCs), save the outgoing
+ * context, restore the incoming one, point the MEE tallies and the
+ * tracer at the new owner, and re-arm its read-only input regions.
+ */
+void
+GpuSimulator::contextSwitchTo(std::uint32_t pick, Cycle now)
+{
+    if (activeTenant >= 0) {
+        // Flush first: the writebacks and detector finalizations are
+        // still the outgoing tenant's activity.
+        for (auto &p : partitions)
+            scenarioFlushWbs +=
+                p->contextSwitch(now, scenario->flushMdcOnSwitch);
+        ++scenarioSwitches;
+
+        TenantContext &old = tenants[static_cast<std::uint32_t>(
+            activeTenant)];
+        old.savedSms.swap(sms);
+        old.savedEvents.clear();
+        while (!calendar.empty()) {
+            const auto [at, id] = calendar.popMin();
+            // at >= now: a Running tenant is only ever descheduled at
+            // the cycle its slice ended, with every event at or past
+            // that cycle.
+            old.savedEvents.emplace_back(at - now, id);
+        }
+        if (old.kernelActive)
+            old.capLeft = old.capEnd - now; // capEnd > now invariant
+    }
+
+    TenantContext &t = tenants[pick];
+    sms.swap(t.savedSms);
+    calendar.clear(now);
+    for (const auto &[delta, id] : t.savedEvents)
+        calendar.push(saturatingAdd(now, delta), id);
+    t.savedEvents.clear();
+    if (t.kernelActive)
+        t.capEnd = saturatingAdd(now, t.capLeft);
+
+    activeTenant = static_cast<int>(pick);
+    ++t.dispatches;
+    for (auto &p : partitions)
+        p->mee().setActiveTenant(t.id);
+    if (tracer)
+        tracer->setActiveTenant(t.id);
+
+    // Re-arm the tenant's read-only inputs: the switch-out reset wiped
+    // the detector's region bits, and the InputReadOnlyReset path is
+    // what re-establishes cheap RO treatment without re-encryption.
+    for (const auto &r : t.armedRanges)
+        for (PartitionId p = t.partLo; p < t.partHi; ++p)
+            partitions[p]->hostCopy(r.lo, r.len, r.declared);
+}
+
+void
+GpuSimulator::applyTenantHostCopy(TenantContext &t, Addr base,
+                                  std::uint64_t bytes,
+                                  bool declared_read_only)
+{
+    if (bytes == 0)
+        return; // a copy that does not mark read-only regions
+
+    // Same local-window math as applyHostCopyRange, over the tenant's
+    // partition slice (the whole GPU in time-sliced mode).
+    const std::uint64_t stride =
+        static_cast<std::uint64_t>(gpuConfig.interleaveBytes) *
+        t.numParts();
+    LocalAddr lo = base / stride * gpuConfig.interleaveBytes;
+    LocalAddr hi =
+        divCeil(base + bytes, stride) * gpuConfig.interleaveBytes;
+    hi = std::min<LocalAddr>(hi, gpuConfig.protectedBytesPerPartition);
+    lo = std::min(lo, hi);
+    for (PartitionId p = t.partLo; p < t.partHi; ++p)
+        partitions[p]->hostCopy(lo, hi - lo, declared_read_only);
+
+    if (scenario->policy == workload::SharePolicy::TimeSliced &&
+        hi > lo)
+        t.armedRanges.push_back({lo, hi - lo, declared_read_only});
+}
+
+ScenarioMetrics
+GpuSimulator::gatherScenarioMetrics() const
+{
+    ScenarioMetrics m;
+    m.total = gatherMetrics();
+
+    // gatherMetrics sums the live `sms` vector, which in time-sliced
+    // mode holds only the last-dispatched tenant's units; the harvested
+    // per-tenant totals are authoritative.
+    std::uint64_t instructions = 0;
+    for (const auto &t : tenants)
+        instructions += t.instructions;
+    m.total.instructions = instructions;
+    m.total.ipc = m.total.cycles
+                      ? static_cast<double>(instructions) /
+                            static_cast<double>(m.total.cycles)
+                      : 0;
+
+    m.contextSwitches = scenarioSwitches;
+    m.mdcFlushWritebacks = scenarioFlushWbs;
+
+    m.tenants.reserve(tenants.size());
+    for (const auto &t : tenants) {
+        TenantRunMetrics tm;
+        tm.name = t.spec->name;
+        tm.arrivalCycle = t.spec->arrivalCycle;
+        tm.startCycle = t.startCycle;
+        tm.finishCycle = t.finishCycle;
+        tm.instructions = t.instructions;
+        tm.windowStalls = t.windowStalls;
+        tm.kernelsRun = t.kernelsRun;
+        tm.dispatches = t.dispatches;
+        const Cycle span = t.finishCycle > t.spec->arrivalCycle
+                               ? t.finishCycle - t.spec->arrivalCycle
+                               : 0;
+        tm.ipc = span ? static_cast<double>(t.instructions) /
+                            static_cast<double>(span)
+                      : 0;
+
+        for (PartitionId p = t.partLo; p < t.partHi; ++p) {
+            const mee::TenantMeeTally &tally =
+                partitions[p]->mee().tenantTally(t.id);
+            tm.memReads += tally.reads;
+            tm.memWrites += tally.writes;
+            tm.mdcAccesses += tally.mdcAccesses;
+            tm.mdcHits += tally.mdcHits;
+            tm.roCorrect += tally.roCorrect;
+            tm.roMispredicts += tally.roMispredicts;
+            tm.strCorrect += tally.strCorrect;
+            tm.strMispredicts += tally.strMispredicts;
+        }
+        tm.mdcHitRate =
+            tm.mdcAccesses ? static_cast<double>(tm.mdcHits) /
+                                 static_cast<double>(tm.mdcAccesses)
+                           : 0;
+        const std::uint64_t ro_total = tm.roCorrect + tm.roMispredicts;
+        tm.roAccuracy = ro_total ? static_cast<double>(tm.roCorrect) /
+                                       static_cast<double>(ro_total)
+                                 : 0;
+        const std::uint64_t str_total =
+            tm.strCorrect + tm.strMispredicts;
+        tm.strAccuracy = str_total
+                             ? static_cast<double>(tm.strCorrect) /
+                                   static_cast<double>(str_total)
+                             : 0;
+        m.tenants.push_back(std::move(tm));
+    }
+    return m;
+}
+
+} // namespace shmgpu::gpu

@@ -36,6 +36,20 @@ makeTxn(const workload::TraceOp &op, const mem::PartitionAddr &pa,
             .space = op.space};
 }
 
+/**
+ * Scenario runs use the serial context/stream engine: one simulation
+ * thread multiplexes tenant contexts, so the shard engine is clamped
+ * off (results are then trivially identical for every --shards value)
+ * and the per-cycle reference loop does not apply.
+ */
+GpuParams
+clampForScenario(GpuParams gp)
+{
+    gp.shards = 1;
+    gp.referenceKernelLoop = false;
+    return gp;
+}
+
 } // namespace
 
 GpuSimulator::GpuSimulator(const GpuParams &gpu_params,
@@ -66,6 +80,19 @@ GpuSimulator::GpuSimulator(const GpuParams &gpu_params,
                "trace was recorded for {} SMs, GPU has {}",
                trace->numSms, gpuConfig.numSms);
     init();
+}
+
+GpuSimulator::GpuSimulator(const GpuParams &gpu_params,
+                           const mee::MeeParams &mee_params,
+                           const workload::ScenarioSpec &scenario_spec)
+    : gpuConfig(clampForScenario(gpu_params)), meeConfig(mee_params),
+      scenario(&scenario_spec),
+      map(gpu_params.numPartitions, gpu_params.interleaveBytes),
+      icnt(makeIcntParams(gpu_params), gpu_params.numPartitions)
+{
+    workload::validateScenario(scenario_spec);
+    init();
+    initScenario();
 }
 
 void

@@ -32,6 +32,7 @@
 #include "meta/counters.hh"
 #include "meta/layout.hh"
 #include "workload/benchmarks.hh"
+#include "workload/scenario.hh"
 #include "workload/trace.hh"
 #include "workload/trace_file.hh"
 
@@ -55,6 +56,19 @@ class GpuSimulator : public mee::DramRouter
                  const mee::MeeParams &mee_params,
                  const workload::Trace &trace);
 
+    /**
+     * Multi-tenant scenario mode: N tenant contexts multiplexed over
+     * one GPU by the scenario's share policy — time-sliced context
+     * switching (per-quantum ownership of every SM and partition,
+     * detector state flushed/re-armed at each switch) or MIG-style
+     * static SM/partition splits. Drive with runScenario(); the
+     * engine is serial (the shard engine is clamped to one shard), so
+     * results are bit-identical for every --shards/--jobs value.
+     */
+    GpuSimulator(const GpuParams &gpu_params,
+                 const mee::MeeParams &mee_params,
+                 const workload::ScenarioSpec &scenario);
+
     ~GpuSimulator() override;
 
     /** Collect a ground-truth profile while running (pass 1). */
@@ -77,6 +91,9 @@ class GpuSimulator : public mee::DramRouter
 
     /** Run every kernel of the workload; returns the metrics. */
     RunMetrics run();
+
+    /** Run a multi-tenant scenario (scenario constructor only). */
+    ScenarioMetrics runScenario();
 
     /** mee::DramRouter: metadata transactions from the MEEs. */
     Cycle enqueueMeta(PartitionId target, Addr bank_addr,
@@ -105,9 +122,112 @@ class GpuSimulator : public mee::DramRouter
         DaryHeap<Cycle> inflight;
     };
 
+    /**
+     * One tenant's execution context in a scenario run. Owns the
+     * tenant's address layout and — in time-sliced mode — the saved
+     * SM/calendar state between dispatches. The per-kernel fields
+     * mirror eventKernelLoop's locals; the scenario engine keeps them
+     * here so a kernel can pause at a slice boundary and resume with
+     * the exact arithmetic the serial loop would have run.
+     */
+    struct TenantContext
+    {
+        enum class State : std::uint8_t
+        {
+            NotArrived, //!< waiting for arrivalCycle (wake = arrival)
+            Running,    //!< mid-kernel (dispatchable any time)
+            Draining,   //!< SMs done, loads in flight (wake = kernel end)
+            Finished    //!< every kernel retired
+        };
+
+        const workload::TenantSpec *spec = nullptr;
+        std::uint16_t id = 0;
+        std::vector<Addr> bufferBases;
+
+        /** @{ Resource slice. Time-sliced: the whole GPU and the
+         *  global address map. Partitioned: contiguous SM/partition
+         *  ranges and a private map over the tenant's partitions. */
+        std::uint32_t smLo = 0, smHi = 0;
+        PartitionId partLo = 0, partHi = 0;
+        const mem::AddressMap *addrMap = nullptr;
+        std::unique_ptr<mem::AddressMap> ownedMap;
+        /** @} */
+
+        State state = State::NotArrived;
+        Cycle wake = 0; //!< earliest useful dispatch (NotArrived/Draining)
+
+        /** @{ Current kernel. */
+        std::uint32_t nextKernel = 0;
+        std::unique_ptr<workload::KernelTrace> source;
+        std::uint32_t window = 0;
+        bool kernelActive = false;
+        std::uint64_t kernelTraceIdx = 0;
+        Cycle kernelStart = 0;
+        Cycle capEnd = 0;
+        Cycle maxCompletion = 0;
+        Cycle lastDrain = 0;
+        Cycle cursor = invalidCycle;
+        std::uint64_t busyCycles = 0;
+        std::uint32_t drained = 0;
+        std::uint64_t eventsPending = 0;
+        /** @} */
+
+        /** @{ Saved context between time-sliced dispatches: the SM
+         *  units verbatim, calendar events as deltas against the
+         *  switch cycle (re-based on resume: progress freezes while
+         *  preempted, in-flight completions stay absolute), and the
+         *  remaining kernel cycle budget. */
+        std::vector<SmUnit> savedSms;
+        std::vector<std::pair<Cycle, std::uint32_t>> savedEvents;
+        Cycle capLeft = 0;
+        /** @} */
+
+        /** Input ranges marked read-only so far, replayed through the
+         *  InputReadOnlyReset path at every switch-in. */
+        struct ArmedRange
+        {
+            LocalAddr lo = 0;
+            std::uint64_t len = 0;
+            bool declared = false;
+        };
+        std::vector<ArmedRange> armedRanges;
+
+        /** @{ Results. */
+        Cycle startCycle = 0;
+        Cycle finishCycle = 0;
+        std::uint64_t instructions = 0;
+        std::uint64_t windowStalls = 0;
+        std::uint64_t kernelsRun = 0;
+        std::uint64_t dispatches = 0;
+        /** @} */
+
+        std::uint32_t numSms() const { return smHi - smLo; }
+        std::uint32_t numParts() const
+        {
+            return static_cast<std::uint32_t>(partHi - partLo);
+        }
+    };
+
     void init();
+    void initScenario();
     void applyHostCopyRange(Addr base, std::uint64_t bytes,
                             bool declared_read_only);
+    /** Host copy over a tenant's partition slice (records the range
+     *  for switch-in re-arming when it marks regions read-only). */
+    void applyTenantHostCopy(TenantContext &t, Addr base,
+                             std::uint64_t bytes, bool declared_read_only);
+    /** @{ Scenario engine (scenario_run.cc). */
+    void runTimeSliced();
+    void runPartitioned();
+    Cycle runTenantSlice(TenantContext &t, Cycle now, Cycle slice_end);
+    void processTenantEvents(TenantContext &t, Cycle limit);
+    void stepSmEvent(TenantContext &t, SmId sm, Cycle now);
+    Cycle computeKernelTail(TenantContext &t);
+    void startTenantKernel(TenantContext &t, Cycle at);
+    void advanceTenantKernel(TenantContext &t, Cycle at);
+    void contextSwitchTo(std::uint32_t pick, Cycle now);
+    ScenarioMetrics gatherScenarioMetrics() const;
+    /** @} */
     void runKernel(std::uint32_t kernel_idx);
     template <typename Source>
     void runKernelLoop(Source &source, std::uint32_t window);
@@ -139,7 +259,18 @@ class GpuSimulator : public mee::DramRouter
     mee::MeeParams meeConfig;
     const workload::WorkloadSpec *spec = nullptr;
     const workload::Trace *trace = nullptr;
+    const workload::ScenarioSpec *scenario = nullptr;
     std::vector<Addr> bufferBases;
+
+    /** @{ Scenario state (empty outside scenario mode). Plain members,
+     *  not stats scalars, so a single-tenant scenario's stats tree is
+     *  byte-identical to the legacy path's. */
+    std::vector<TenantContext> tenants;
+    std::vector<std::uint16_t> tenantOfSm; //!< partitioned-mode lookup
+    int activeTenant = -1;
+    std::uint64_t scenarioSwitches = 0;
+    std::uint64_t scenarioFlushWbs = 0;
+    /** @} */
 
     mem::AddressMap map;
     Interconnect icnt;

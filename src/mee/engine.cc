@@ -159,12 +159,18 @@ MeeEngine::metaAccess(mem::SectoredCache &cache, Addr meta_addr,
 {
     if (was_miss)
         *was_miss = false;
+    if (activeTally)
+        ++activeTally->mdcAccesses;
 
     mem::CacheAccessResult res = cache.access(meta_addr, bytes, is_write);
     switch (res.outcome) {
       case mem::CacheOutcome::Hit:
+        if (activeTally)
+            ++activeTally->mdcHits;
         return now + config.mdcHitLatency;
       case mem::CacheOutcome::WriteNoFetch:
+        if (activeTally)
+            ++activeTally->mdcHits;
         emitEviction(cache.takeInsertWriteback(), cls, now);
         return now + config.mdcHitLatency;
       default:
@@ -374,8 +380,12 @@ MeeEngine::attributeRoPrediction(LocalAddr local, bool predicted_ro)
     bool truth = truthProfile->regionReadOnly(partitionId, local);
     if (predicted_ro == truth) {
         ++predStats.roCorrect;
+        if (activeTally)
+            ++activeTally->roCorrect;
         return;
     }
+    if (activeTally)
+        ++activeTally->roMispredicts;
     switch (roDetector.causeFor(local)) {
       case detect::NotReadOnlyCause::WrittenAlias:
         ++predStats.roMpAliasing;
@@ -396,8 +406,12 @@ MeeEngine::attributeStreamPrediction(LocalAddr local, bool predicted_str)
     bool truth = truthProfile->chunkStreaming(partitionId, local);
     if (predicted_str == truth) {
         ++predStats.strCorrect;
+        if (activeTally)
+            ++activeTally->strCorrect;
         return;
     }
+    if (activeTally)
+        ++activeTally->strMispredicts;
     std::uint64_t chunk = streamDetector.chunkOf(local);
     if (streamDetector.entryNeverUpdated(chunk)) {
         ++predStats.strMpInit;
@@ -415,6 +429,8 @@ MeeEngine::onRead(LocalAddr local, Addr phys, Cycle now, MemSpace space)
 {
     profile::ScopedTimer timer(profile::Phase::MetaPath);
     ++statReads;
+    if (activeTally)
+        ++activeTally->reads;
     if (!config.secure)
         return now;
 
@@ -516,6 +532,8 @@ MeeEngine::onWrite(LocalAddr local, Addr phys, Cycle now, MemSpace space)
 
     profile::ScopedTimer timer(profile::Phase::MetaPath);
     ++statWrites;
+    if (activeTally)
+        ++activeTally->writes;
     if (!config.secure)
         return;
 
@@ -617,6 +635,63 @@ MeeEngine::kernelBoundary(Cycle now)
     }
     if (config.commonCounters)
         commonTable->kernelBoundary();
+}
+
+std::uint64_t
+MeeEngine::contextSwitch(Cycle now, bool flush_mdc)
+{
+    if (!config.secure)
+        return 0;
+    // Account the outgoing tenant's in-flight monitoring phases with
+    // the usual Table III/IV costs before discarding tracker state —
+    // detector state must not survive into the next tenant, but the
+    // bandwidth its predictions committed to already happened.
+    if (config.dualGranularityMac) {
+        streamDetector.finalizeAll(now, eventScratch);
+        for (const auto &ev : eventScratch)
+            handleDetection(ev, now);
+        eventScratch.clear();
+        streamDetector.reset();
+    }
+    if (config.readOnlyOpt)
+        roDetector.reset();
+    if (config.commonCounters)
+        commonTable->kernelBoundary();
+
+    std::uint64_t flushed = 0;
+    if (flush_mdc) {
+        // Dirty metadata leaves the chip as ordinary DRAM traffic.
+        // The flush is a plain write-back sweep: BMT ancestors are
+        // not lazily updated here the way single-line evictions do
+        // it, because every node (parents included) is flushed in
+        // the same sweep.
+        struct FlushTarget
+        {
+            mem::SectoredCache *cache;
+            mem::TrafficClass cls;
+        };
+        const FlushTarget targets[] = {
+            {&ctrCache, mem::TrafficClass::Counter},
+            {&macsCache, mem::TrafficClass::Mac},
+            {&treeCache, mem::TrafficClass::Bmt},
+        };
+        std::vector<mem::Writeback> wbs;
+        for (const FlushTarget &t : targets) {
+            wbs.clear();
+            t.cache->invalidateAll(wbs);
+            for (const mem::Writeback &wb : wbs) {
+                std::uint32_t bytes =
+                    config.sectoredMetadata
+                        ? static_cast<std::uint32_t>(
+                              std::popcount(wb.dirtyMask)) * 32u
+                        : 128u;
+                routeMeta(wb.blockAddr, bytes, mem::AccessType::Write,
+                          t.cls, now);
+                ++flushed;
+            }
+        }
+    }
+    return flushed;
 }
 
 void

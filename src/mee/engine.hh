@@ -145,6 +145,25 @@ class VictimCacheIf
     virtual Cycle victimHitLatency() const = 0;
 };
 
+/**
+ * Per-tenant shadow counters for scenario runs. Incremented beside
+ * the engine's regular statistics for whichever tenant is active
+ * (setActiveTenant); plain integers because the scenario engine is
+ * serial (the shard engine is clamped to one shard under scenarios).
+ */
+struct TenantMeeTally
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t mdcAccesses = 0;
+    std::uint64_t mdcHits = 0;
+    /** Detector-accuracy attribution (needs a truth profile). */
+    std::uint64_t roCorrect = 0;
+    std::uint64_t roMispredicts = 0;
+    std::uint64_t strCorrect = 0;
+    std::uint64_t strMispredicts = 0;
+};
+
 /** Per-access prediction-accuracy tallies (Figs. 10 and 11). */
 struct PredictionStats
 {
@@ -204,6 +223,37 @@ class MeeEngine
 
     /** Kernel launch boundary. */
     void kernelBoundary(Cycle now);
+
+    /**
+     * Tenant context switch: finalize and account the in-flight
+     * streaming phases, then drop both detectors back to power-on
+     * state (the caller re-arms the incoming tenant's input regions
+     * via the InputReadOnlyReset path, i.e. hostCopy). With
+     * @p flush_mdc the three metadata caches are invalidated too,
+     * their dirty lines written back as DRAM traffic. Returns the
+     * number of flush write-backs emitted. chunkMacStates is kept:
+     * it mirrors memory-resident MAC freshness, and tenants occupy
+     * disjoint address ranges.
+     */
+    std::uint64_t contextSwitch(Cycle now, bool flush_mdc);
+
+    /** @{ Per-tenant shadow tallies for scenario runs. */
+    void enableTenantTallies(std::size_t tenants)
+    {
+        tenantTallies.assign(tenants, TenantMeeTally{});
+    }
+    /** Route subsequent accounting to tenant @p id (invalidAddr-like
+     *  sentinel: pass tenantTallies.size()==0 state to disable). */
+    void setActiveTenant(std::size_t id)
+    {
+        activeTally = id < tenantTallies.size() ? &tenantTallies[id]
+                                                : nullptr;
+    }
+    const TenantMeeTally &tenantTally(std::size_t id) const
+    {
+        return tenantTallies.at(id);
+    }
+    /** @} */
 
     /** Prime detectors from a profiling pass (SHM_upper_bound). */
     void primeFromProfile(const detect::AccessProfile &profile);
@@ -331,6 +381,10 @@ class MeeEngine
     detect::StreamingDetector streamDetector;
     std::vector<detect::DetectionEvent> eventScratch;
     FlatMap<ChunkMacState> chunkMacStates;
+
+    /** Scenario-mode shadow tallies; empty outside scenario runs. */
+    std::vector<TenantMeeTally> tenantTallies;
+    TenantMeeTally *activeTally = nullptr;
 
     stats::StatGroup statGroup;
     PredictionStats predStats;

@@ -15,8 +15,10 @@ constexpr std::uint32_t kBlock = 128;
 
 SecureMemoryContext::SecureMemoryContext(
     const meta::LayoutParams &layout_params, std::uint64_t context_seed,
-    const detect::ReadOnlyDetectorParams &ro_params)
-    : metaLayout(layout_params), keys(crypto::generateKeys(context_seed)),
+    const detect::ReadOnlyDetectorParams &ro_params,
+    std::uint32_t tenant_id)
+    : metaLayout(layout_params), tenantTag(tenant_id << 16),
+      keys(crypto::generateTenantKeys(context_seed, tenant_id)),
       ctrEngine(keys.encryptionKey), macEngine(keys.macKey),
       counterStore(metaLayout), macs(metaLayout),
       bmt(metaLayout, counterStore, keys.treeKey), roDetector(ro_params)
@@ -28,9 +30,9 @@ SecureMemoryContext::seedFor(LocalAddr addr, bool read_only) const
 {
     LocalAddr block = addr / kBlock * kBlock;
     if (read_only)
-        return {block, shared.value(), 0, 0};
+        return {block, shared.value(), 0, tenantTag};
     meta::CounterValue cv = counterStore.read(block);
-    return {block, cv.major, cv.minor, 0};
+    return {block, cv.major, cv.minor, tenantTag};
 }
 
 crypto::Mac
@@ -38,7 +40,8 @@ SecureMemoryContext::macFor(const crypto::DataBlock &ciphertext,
                             LocalAddr addr, bool read_only) const
 {
     crypto::Seed s = seedFor(addr, read_only);
-    return macEngine.blockMac(ciphertext, s.address, s.major, s.minor, 0);
+    return macEngine.blockMac(ciphertext, s.address, s.major, s.minor,
+                              s.partition);
 }
 
 crypto::Mac
@@ -66,7 +69,8 @@ SecureMemoryContext::refreshChunkMac(LocalAddr addr)
     std::vector<crypto::Mac> block_macs;
     for (LocalAddr b = base; b < end; b += kBlock)
         block_macs.push_back(storedBlockMacOrInit(b));
-    macs.setChunkMac(base, macEngine.chunkMac(block_macs, base, 0));
+    macs.setChunkMac(base,
+                     macEngine.chunkMac(block_macs, base, tenantTag));
 }
 
 void
@@ -146,7 +150,7 @@ SecureMemoryContext::hostWriteRange(LocalAddr base, const void *data,
     std::vector<crypto::Mac> tags(n);
     for (std::size_t i = 0; i < n; ++i)
         jobs[i] = {&blocks[i], seeds[i].address, seeds[i].major,
-                   seeds[i].minor, 0};
+                   seeds[i].minor, seeds[i].partition};
     macEngine.blockMacBatch(jobs, tags.data());
 
     for (std::size_t i = 0; i < n; ++i) {
@@ -192,12 +196,12 @@ SecureMemoryContext::writeWithPerBlockCounter(
     shm_assert(!inc.minorOverflow, "overflow after re-encryption");
     bmt.updatePath(metaLayout.counterBlockIndex(block));
 
-    crypto::Seed s{block, inc.value.major, inc.value.minor, 0};
+    crypto::Seed s{block, inc.value.major, inc.value.minor, tenantTag};
     crypto::DataBlock cipher = ctrEngine.transformed(plaintext, s);
     store.writeBlock(block, cipher);
     macs.setBlockMac(block,
                      macEngine.blockMac(cipher, block, s.major, s.minor,
-                                        0));
+                                        s.partition));
     refreshChunkMac(block);
 }
 
@@ -243,7 +247,7 @@ SecureMemoryContext::reencryptRegion(LocalAddr addr)
     ctrEngine.transformBatch(blocks.data(), seeds.data(), n);
     for (std::size_t i = 0; i < n; ++i)
         jobs[i] = {&blocks[i], seeds[i].address, seeds[i].major,
-                   seeds[i].minor, 0};
+                   seeds[i].minor, seeds[i].partition};
     macEngine.blockMacBatch(jobs, tags.data());
     for (std::size_t i = 0; i < n; ++i) {
         store.writeBlock(base + i * kBlock, blocks[i]);
@@ -302,7 +306,7 @@ SecureMemoryContext::deviceReadBatch(const LocalAddr *addrs,
         ciphers[i] = store.readBlock(block);
         seeds[i] = seedFor(block, ro);
         jobs[i] = {&ciphers[i], seeds[i].address, seeds[i].major,
-                   seeds[i].minor, 0};
+                   seeds[i].minor, seeds[i].partition};
     }
     macEngine.blockMacBatch(jobs, expected.data());
 
@@ -351,7 +355,7 @@ SecureMemoryContext::reencryptSharedRegion(LocalAddr region_base,
     for (std::size_t i = 0; i < n; ++i) {
         LocalAddr b = region_base + i * kBlock;
         blocks[i] = store.readBlock(b);
-        seeds[i] = crypto::Seed{b, old_shared, 0, 0};
+        seeds[i] = crypto::Seed{b, old_shared, 0, tenantTag};
     }
     ctrEngine.transformBatch(blocks.data(), seeds.data(), n);
     for (std::size_t i = 0; i < n; ++i)
@@ -361,7 +365,8 @@ SecureMemoryContext::reencryptSharedRegion(LocalAddr region_base,
     std::vector<crypto::BlockMacInput> jobs(n);
     std::vector<crypto::Mac> tags(n);
     for (std::size_t i = 0; i < n; ++i)
-        jobs[i] = {&blocks[i], seeds[i].address, seeds[i].major, 0, 0};
+        jobs[i] = {&blocks[i], seeds[i].address, seeds[i].major, 0,
+                   seeds[i].partition};
     macEngine.blockMacBatch(jobs, tags.data());
     for (std::size_t i = 0; i < n; ++i) {
         store.writeBlock(region_base + i * kBlock, blocks[i]);
@@ -411,13 +416,15 @@ SecureMemoryContext::inputReadOnlyReset(LocalAddr base,
         }
         ctrEngine.transformBatch(blocks.data(), seeds.data(), n);
         for (std::size_t i = 0; i < n; ++i)
-            seeds[i] = crypto::Seed{todo[i], shared.value(), 0, 0};
+            seeds[i] = crypto::Seed{todo[i], shared.value(), 0,
+                                    tenantTag};
         ctrEngine.transformBatch(blocks.data(), seeds.data(), n);
 
         std::vector<crypto::BlockMacInput> jobs(n);
         std::vector<crypto::Mac> tags(n);
         for (std::size_t i = 0; i < n; ++i)
-            jobs[i] = {&blocks[i], todo[i], seeds[i].major, 0, 0};
+            jobs[i] = {&blocks[i], todo[i], seeds[i].major, 0,
+                       seeds[i].partition};
         macEngine.blockMacBatch(jobs, tags.data());
         for (std::size_t i = 0; i < n; ++i) {
             store.writeBlock(todo[i], blocks[i]);
@@ -457,7 +464,8 @@ SecureMemoryContext::verifyChunk(LocalAddr chunk_base)
         any_not_ro |= !ro;
         ciphers[i] = store.readBlock(b);
         crypto::Seed s = seedFor(b, ro);
-        jobs[i] = {&ciphers[i], s.address, s.major, s.minor, 0};
+        jobs[i] = {&ciphers[i], s.address, s.major, s.minor,
+                   s.partition};
     }
     macEngine.blockMacBatch(jobs, block_macs.data());
     auto stored = macs.chunkMac(base);
@@ -465,7 +473,7 @@ SecureMemoryContext::verifyChunk(LocalAddr chunk_base)
         refreshChunkMac(base);
         stored = macs.chunkMac(base);
     }
-    if (macEngine.chunkMac(block_macs, base, 0) != *stored)
+    if (macEngine.chunkMac(block_macs, base, tenantTag) != *stored)
         return VerifyStatus::MacMismatch;
 
     if (any_not_ro) {

@@ -53,10 +53,20 @@ struct FunctionalReadResult
 class SecureMemoryContext
 {
   public:
+    /**
+     * @p tenant_id selects the key domain: keys come from
+     * crypto::generateTenantKeys(context_seed, tenant_id), and the
+     * tenant tag is mixed into every encryption seed and MAC as an
+     * extra tweak. Two contexts over the same physical space with
+     * different tenant ids can never authenticate each other's lines
+     * (tests/test_tenant_isolation.cc). Tenant 0 is bit-compatible
+     * with the legacy single-context construction.
+     */
     SecureMemoryContext(const meta::LayoutParams &layout_params,
                         std::uint64_t context_seed,
                         const detect::ReadOnlyDetectorParams &ro_params =
-                            detect::ReadOnlyDetectorParams{});
+                            detect::ReadOnlyDetectorParams{},
+                        std::uint32_t tenant_id = 0);
 
     /**
      * Host-to-device copy of one 128 B block. With @p mark_read_only
@@ -138,6 +148,7 @@ class SecureMemoryContext
     {
         return roDetector.isReadOnly(addr);
     }
+    std::uint32_t tenantId() const { return tenantTag >> 16; }
     /** @} */
 
   private:
@@ -165,6 +176,10 @@ class SecureMemoryContext
     void reencryptRegion(LocalAddr addr);
 
     meta::MetadataLayout metaLayout;
+    /** Tenant id shifted past the partition-id range, used as the
+     *  spatial tweak in every seed/MAC so even equal keys (a broken
+     *  RNG) could not make tenant domains collide. */
+    std::uint32_t tenantTag;
     crypto::KeyTuple keys;
     crypto::CtrModeEngine ctrEngine;
     crypto::MacEngine macEngine;

@@ -276,6 +276,25 @@ SectoredCache::flushDirty(std::vector<Writeback> &out)
     }
 }
 
+void
+SectoredCache::invalidateAll(std::vector<Writeback> &out)
+{
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+        if (tags[i] == 0)
+            continue;
+        if (lineState[i].dirtyMask) {
+            out.push_back({true, lineTag(i), lineState[i].dirtyMask});
+            ++statWritebacks;
+        }
+        policyFor(i).onEvict(localWay(i));
+        tags[i] = 0;
+        lineState[i] = LineState{};
+    }
+    mshrTable.clear();
+    pendingWriteMask.clear();
+    pendingInsertWb = Writeback{};
+}
+
 Writeback
 SectoredCache::takeInsertWriteback()
 {

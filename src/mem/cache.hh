@@ -134,6 +134,15 @@ class SectoredCache
     /** Flush every dirty line (appends write-backs); leaves lines clean. */
     void flushDirty(std::vector<Writeback> &out);
 
+    /**
+     * Drop every line (appends dirty write-backs first). Replacement
+     * bookkeeping is notified per line (onEvict), and the MSHR and
+     * pending-write tables are cleared, so the cache is exactly as
+     * cold as a freshly built one. Context-switch MDC flushes use
+     * this; the write-backs become DRAM traffic at the owner's hands.
+     */
+    void invalidateAll(std::vector<Writeback> &out);
+
     /** Number of outstanding (allocated) MSHRs. */
     std::size_t mshrsInUse() const { return mshrTable.size(); }
 

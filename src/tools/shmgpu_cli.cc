@@ -61,6 +61,7 @@
 #include "core/experiment.hh"
 #include "core/overrides.hh"
 #include "core/result_cache.hh"
+#include "core/scenario.hh"
 #include "core/sweep.hh"
 #include "crypto/dispatch.hh"
 #include "gpu/presets.hh"
@@ -113,21 +114,25 @@ int
 usage()
 {
     std::puts("usage: shmgpu"
-              " <list|run|sweep|trace|trace-info|bench-self|bench-sweep>"
-              " [flags]\n"
+              " <list|run|sweep|trace|trace-info|bench-self|bench-sweep"
+              "|bench-tenants> [flags]\n"
               "  shmgpu list\n"
-              "  shmgpu run (--workload NAME | --spec FILE) [--scheme SHM]"
+              "  shmgpu run (--workload NAME | --spec FILE |"
+              " --scenario FILE) [--scheme SHM]"
               " [--gpu turing|big|test] [--cycles N] [--shards N]"
               " [--policy lru|fifo|random|s3fifo|sieve]"
               " [--crypto auto|scalar|aesni|vaes]"
               " [--overrides CFG]"
               " [--stats FILE] [--json FILE] [--accuracy] [--profile]"
-              " [--reference-loop]"
+              " [--reference-loop] [--no-solo]"
               " [--trace OUT.json] [--trace-text OUT.txt]\n"
               "  shmgpu sweep [--workloads a,b,c|all] [--schemes X,Y|all]"
               " [--jobs N] [--gpu turing|big|test] [--cycles N]"
               " [--shards N] [--policy P] [--policies P,Q|all]"
               " [--zipf-footprints S1,S2,... [--zipf-alphas A1,A2,...]]"
+              " [--scenario FILE [--quantums Q1,Q2,...]"
+              " [--share timeslice,partitioned] [--tenants N1,N2,...]"
+              " [--no-solo]]"
               " [--results-dir DIR] [--resume] [--cancel-after N]"
               " [--overrides CFG] [--out FILE] [--quiet]"
               " [--trace DIR]\n"
@@ -143,7 +148,10 @@ usage()
               " [--profile] [--reference-loop]\n"
               "  shmgpu bench-sweep [--side N] [--cycles N] [--jobs N]"
               " [--gpu turing|big|test] [--scheme SHM]"
-              " [--results-dir DIR] [--out BENCH_sweepcache.json]");
+              " [--results-dir DIR] [--out BENCH_sweepcache.json]\n"
+              "  shmgpu bench-tenants [--scenario FILE] [--scheme SHM]"
+              " [--gpu turing|big|test] [--cycles N] [--reps N]"
+              " [--quantums Q1,Q2,...] [--out BENCH_tenants.json]");
     return 2;
 }
 
@@ -227,13 +235,101 @@ gpuParamsFrom(const Args &args, trace::TraceParams *trace_params = nullptr,
     return gp;
 }
 
+void
+printScenario(const core::ScenarioExperimentResult &r)
+{
+    std::printf("scenario %-12s %-14s share=%s", r.scenario.c_str(),
+                r.scheme.c_str(), r.sharePolicy.c_str());
+    if (r.sharePolicy == "timeslice")
+        std::printf(" quantum=%llu switches=%llu",
+                    static_cast<unsigned long long>(r.quantumCycles),
+                    static_cast<unsigned long long>(
+                        r.metrics.contextSwitches));
+    if (r.flushMdcOnSwitch)
+        std::printf(" flushWbs=%llu",
+                    static_cast<unsigned long long>(
+                        r.metrics.mdcFlushWritebacks));
+    std::printf(" cycles=%llu ipc=%.3f",
+                static_cast<unsigned long long>(r.metrics.total.cycles),
+                r.metrics.total.ipc);
+    if (r.meanSlowdown > 0)
+        std::printf(" meanSlowdown=%.2fx", r.meanSlowdown);
+    std::printf("\n");
+    for (const auto &t : r.tenants) {
+        const auto &m = t.shared;
+        std::printf("  %-12s arrive=%-7llu finish=%-8llu ipc=%.3f",
+                    m.name.c_str(),
+                    static_cast<unsigned long long>(m.arrivalCycle),
+                    static_cast<unsigned long long>(m.finishCycle),
+                    m.ipc);
+        if (t.soloIpc > 0)
+            std::printf(" solo=%.3f slowdown=%.2fx", t.soloIpc,
+                        t.slowdown);
+        std::printf(" mdcHit=%.3f", m.mdcHitRate);
+        if (t.soloIpc > 0)
+            std::printf(" (solo %.3f)", t.soloMdcHitRate);
+        if (m.roCorrect + m.roMispredicts > 0)
+            std::printf(" roAcc=%.3f", m.roAccuracy);
+        if (m.strCorrect + m.strMispredicts > 0)
+            std::printf(" strAcc=%.3f", m.strAccuracy);
+        std::printf(" dispatches=%llu\n",
+                    static_cast<unsigned long long>(m.dispatches));
+    }
+}
+
+int
+cmdRunScenario(const Args &args)
+{
+    workload::ScenarioSpec scn =
+        workload::parseScenarioFile(args.get("scenario"));
+    auto scheme = schemes::schemeFromName(args.get("scheme", "SHM"));
+
+    core::ScenarioRunOptions opts;
+    gpu::GpuParams gp = gpuParamsFrom(args, &opts.traceParams,
+                                      &opts.mdcPolicy);
+    opts.withSolo = !args.has("no-solo");
+    opts.tracePath = args.get("trace");
+    opts.traceTextPath = args.get("trace-text");
+
+    auto r = core::runScenarioExperiment(gp, scheme, scn, opts);
+    if (!opts.tracePath.empty())
+        std::printf("trace written to %s\n", opts.tracePath.c_str());
+    printScenario(r);
+
+    // --json gets the structured scenario result (per-tenant metrics
+    // and interference deltas); --stats the full simulator stats tree
+    // of a fresh identical run (the determinism byte-compare vehicle).
+    if (args.has("json")) {
+        std::ofstream out(args.get("json"), std::ios::binary);
+        if (!out)
+            shm_fatal("cannot open '{}' for writing", args.get("json"));
+        core::scenarioResultToJson(r).write(out, 2);
+        out << "\n";
+        std::printf("scenario json written to %s\n",
+                    args.get("json").c_str());
+    }
+    if (args.has("stats")) {
+        mee::MeeParams mp = schemes::makeMeeParams(scheme);
+        mp.mdcPolicy = opts.mdcPolicy;
+        gpu::GpuSimulator sim(gpuParamsFrom(args), mp, scn);
+        sim.runScenario();
+        std::ofstream out(args.get("stats"));
+        sim.statsRoot().dump(out);
+        std::printf("stats written to %s\n", args.get("stats").c_str());
+    }
+    return 0;
+}
+
 int
 cmdRun(const Args &args)
 {
+    if (args.has("scenario"))
+        return cmdRunScenario(args);
     std::string workload_name = args.get("workload");
     std::string spec_file = args.get("spec");
     if (workload_name.empty() && spec_file.empty())
-        shm_fatal("run needs --workload or --spec (see 'shmgpu list')");
+        shm_fatal("run needs --workload, --spec or --scenario "
+                  "(see 'shmgpu list')");
     workload::WorkloadSpec parsed;
     if (!spec_file.empty())
         parsed = workload::parseWorkloadFile(spec_file);
@@ -343,9 +439,134 @@ zipfGrid(const Args &args)
     return specs;
 }
 
+/**
+ * Build one scenario-grid variant: @p base with the share policy,
+ * quantum and tenant count replaced. Tenant lists grow round-robin
+ * from the base scenario's tenants ("atax", "mvt", "atax#2", ...),
+ * so a --tenants 2,4,8 axis scales one mix without new files.
+ */
+workload::ScenarioSpec
+scenarioVariant(const workload::ScenarioSpec &base,
+                workload::SharePolicy share, Cycle quantum, unsigned n)
+{
+    workload::ScenarioSpec s = base;
+    s.policy = share;
+    s.quantumCycles = quantum;
+    s.tenants.clear();
+    for (unsigned i = 0; i < n; ++i) {
+        workload::TenantSpec t = base.tenants[i % base.tenants.size()];
+        if (i >= base.tenants.size())
+            t.name += "#" + std::to_string(
+                                i / base.tenants.size() + 1);
+        s.tenants.push_back(std::move(t));
+    }
+    return s;
+}
+
+/**
+ * The scenario sweep: a (share x quantum x tenant-count x scheme)
+ * grid over one base scenario file, with the quantum axis collapsing
+ * for partitioned cells (no context switches there). Cells flow
+ * through the same ResultCache machinery as workload sweeps.
+ */
+int
+cmdSweepScenario(const Args &args)
+{
+    const workload::ScenarioSpec base =
+        workload::parseScenarioFile(args.get("scenario"));
+
+    std::vector<schemes::Scheme> designs;
+    std::string scheme_list = args.get("schemes", "SHM");
+    if (scheme_list == "all") {
+        designs = schemes::allSchemes();
+    } else {
+        for (const auto &name : splitList(scheme_list))
+            designs.push_back(schemes::schemeFromName(name));
+    }
+    if (designs.empty())
+        shm_fatal("sweep selects no schemes");
+
+    std::vector<workload::SharePolicy> shares;
+    for (const auto &name : splitList(
+             args.get("share", workload::sharePolicyName(base.policy))))
+        shares.push_back(workload::sharePolicyFromName(name));
+
+    std::vector<Cycle> quantums;
+    for (const auto &tok : splitList(
+             args.get("quantums", std::to_string(base.quantumCycles))))
+        quantums.push_back(std::stoull(tok));
+
+    std::vector<unsigned> tenant_counts;
+    for (const auto &tok : splitList(
+             args.get("tenants", std::to_string(base.tenants.size()))))
+        tenant_counts.push_back(
+            static_cast<unsigned>(std::stoul(tok)));
+    for (unsigned n : tenant_counts)
+        shm_assert(n > 0, "--tenants needs positive counts");
+
+    if (args.has("quiet"))
+        log_detail::setVerbose(false);
+
+    core::ScenarioSweepOptions opts;
+    opts.jobs = static_cast<unsigned>(std::stoul(args.get("jobs", "1")));
+    opts.run.withSolo = !args.has("no-solo");
+    gpu::GpuParams gp = gpuParamsFrom(args, &opts.run.traceParams,
+                                      &opts.run.mdcPolicy);
+
+    // Owned variant storage, fully built before cells take pointers.
+    std::vector<workload::ScenarioSpec> variants;
+    for (auto share : shares) {
+        const bool sliced = share == workload::SharePolicy::TimeSliced;
+        // Partitioned mode has no switches: one cell per tenant count,
+        // pinned to the base quantum so the axis never duplicates it.
+        const std::vector<Cycle> qs =
+            sliced ? quantums : std::vector<Cycle>{base.quantumCycles};
+        for (Cycle q : qs)
+            for (unsigned n : tenant_counts)
+                variants.push_back(scenarioVariant(base, share, q, n));
+    }
+    std::vector<core::ScenarioCell> cells;
+    cells.reserve(variants.size() * designs.size());
+    for (const auto &v : variants)
+        for (auto scheme : designs)
+            cells.push_back({scheme, &v});
+
+    std::unique_ptr<core::ResultCache> cache;
+    std::string results_dir = args.get("results-dir");
+    if (!results_dir.empty()) {
+        cache = std::make_unique<core::ResultCache>(results_dir);
+        opts.cache = cache.get();
+    }
+    core::SweepTally tally;
+    opts.tally = &tally;
+
+    auto results = core::runScenarioCells(gp, cells, opts);
+
+    if (!args.has("quiet")) {
+        for (const auto &r : results)
+            printScenario(r);
+    }
+    if (cache)
+        std::printf("cells: %zu simulated, %zu loaded from %s\n",
+                    tally.simulated, tally.cached, results_dir.c_str());
+
+    std::string out = args.get("out");
+    if (!out.empty()) {
+        std::ofstream os(out, std::ios::binary);
+        if (!os)
+            shm_fatal("cannot open '{}' for writing", out);
+        core::writeScenarioSweepJson(os, results);
+        std::printf("scenario sweep results written to %s (%zu cells)\n",
+                    out.c_str(), results.size());
+    }
+    return 0;
+}
+
 int
 cmdSweep(const Args &args)
 {
+    if (args.has("scenario"))
+        return cmdSweepScenario(args);
     // Owned storage for the generated Zipf axes; fully built before
     // any pointer is taken so `workloads` never dangles.
     const std::vector<workload::WorkloadSpec> zipf_specs = zipfGrid(args);
@@ -735,6 +956,138 @@ cmdBenchSweep(const Args &args)
 }
 
 /**
+ * Interleaving-overhead benchmark: run a two-tenant scenario (or
+ * --scenario FILE) across a quantum ladder, timed, and record the
+ * headline interference numbers — mean slowdown, context switches,
+ * detector-accuracy and MDC-hit-rate deltas — to BENCH_tenants.json.
+ * The config keys ("tenants" among them) scope compare_baseline.py
+ * the same way bench-self/bench-sweep records are scoped.
+ */
+int
+cmdBenchTenants(const Args &args)
+{
+    std::uint64_t cycles = std::stoull(args.get("cycles", "20000"));
+    std::string out = args.get("out", "BENCH_tenants.json");
+    auto scheme = schemes::schemeFromName(args.get("scheme", "SHM"));
+
+    log_detail::setVerbose(false);
+
+    gpu::GpuParams gp = gpu::presetByName(args.get("gpu", "test"));
+    gp.maxCyclesPerKernel = cycles;
+
+    // The measured mix: a scenario file, or the default atax+mvt
+    // two-tenant time-sliced pair (self-contained, path-free).
+    workload::ScenarioSpec base;
+    std::string scenario_file = args.get("scenario");
+    if (!scenario_file.empty()) {
+        base = workload::parseScenarioFile(scenario_file);
+    } else {
+        base.name = "bench-pair";
+        workload::TenantSpec a;
+        a.name = "atax";
+        a.workload = workload::findWorkload("atax");
+        workload::TenantSpec b;
+        b.name = "mvt";
+        b.workload = workload::findWorkload("mvt");
+        base.tenants.push_back(std::move(a));
+        base.tenants.push_back(std::move(b));
+    }
+
+    std::vector<Cycle> quantums;
+    for (const auto &tok :
+         splitList(args.get("quantums", "2000,5000,20000")))
+        quantums.push_back(std::stoull(tok));
+
+    core::ScenarioSoloCache solos(gp);
+    core::ScenarioRunOptions run_opts;
+    run_opts.soloCache = &solos;
+    // Warm the solo references untimed so the measured region holds
+    // only the shared runs (the interleaving cost itself).
+    for (const auto &t : base.tenants)
+        solos.soloFor(scheme, t.workload, base.keySeed,
+                      run_opts.mdcPolicy);
+
+    unsigned reps =
+        static_cast<unsigned>(std::stoul(args.get("reps", "3")));
+    shm_assert(reps > 0, "bench-tenants needs at least one repetition");
+
+    using clock = std::chrono::steady_clock;
+    json::Value rows = json::Value::array();
+    double total_secs = 0;
+    std::size_t cells = 0;
+    for (Cycle q : quantums) {
+        workload::ScenarioSpec scn = base;
+        scn.policy = workload::SharePolicy::TimeSliced;
+        scn.quantumCycles = q;
+        // Best of --reps: results are deterministic across reps, only
+        // the wall clock varies.
+        core::ScenarioExperimentResult r;
+        double secs = 0;
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            auto t0 = clock::now();
+            r = core::runScenarioExperiment(gp, scheme, scn, run_opts);
+            double s = std::chrono::duration<double>(clock::now() - t0)
+                           .count();
+            if (rep == 0 || s < secs)
+                secs = s;
+        }
+        total_secs += secs;
+        ++cells;
+
+        double ro_delta = 0, mdc_delta = 0;
+        for (const auto &t : r.tenants) {
+            ro_delta += t.roAccuracyDelta;
+            mdc_delta += t.mdcHitRateDelta;
+        }
+        ro_delta /= static_cast<double>(r.tenants.size());
+        mdc_delta /= static_cast<double>(r.tenants.size());
+
+        std::printf("quantum %-8llu switches=%-5llu "
+                    "meanSlowdown=%.3fx roAccDelta=%+.4f "
+                    "mdcHitDelta=%+.4f (%.3f s)\n",
+                    static_cast<unsigned long long>(q),
+                    static_cast<unsigned long long>(
+                        r.metrics.contextSwitches),
+                    r.meanSlowdown, ro_delta, mdc_delta, secs);
+
+        json::Value row = json::Value::object();
+        row["quantum"] = json::Value(static_cast<std::uint64_t>(q));
+        row["contextSwitches"] =
+            json::Value(r.metrics.contextSwitches);
+        row["meanSlowdown"] = json::Value(r.meanSlowdown);
+        row["meanRoAccuracyDelta"] = json::Value(ro_delta);
+        row["meanMdcHitRateDelta"] = json::Value(mdc_delta);
+        row["seconds"] = json::Value(secs);
+        rows.append(std::move(row));
+    }
+
+    json::Value doc = json::Value::object();
+    doc["benchmark"] = "bench-tenants";
+    doc["gpu"] = args.get("gpu", "test");
+    doc["kernel_loop"] = gp.referenceKernelLoop ? "reference" : "event";
+    doc["policy"] = mem::policyName(gp.l2Policy);
+    doc["shards"] = static_cast<std::uint64_t>(gp.shards);
+    doc["cryptoBackend"] = crypto::backendName(crypto::activeBackend());
+    doc["max_cycles_per_kernel"] = cycles;
+    doc["cells"] = static_cast<std::uint64_t>(cells);
+    doc["reps"] = static_cast<std::uint64_t>(reps);
+    doc["scheme"] = schemes::schemeName(scheme);
+    doc["scenario"] = base.name;
+    doc["tenants"] = static_cast<std::uint64_t>(base.tenants.size());
+    doc["quantums"] = std::move(rows);
+    doc["best_cells_per_second"] =
+        total_secs > 0 ? static_cast<double>(cells) / total_secs : 0.0;
+
+    std::ofstream os(out, std::ios::binary);
+    if (!os)
+        shm_fatal("cannot open '{}' for writing", out);
+    doc.write(os, 2);
+    os << "\n";
+    std::printf("benchmark results written to %s\n", out.c_str());
+    return 0;
+}
+
+/**
  * Summarize an exported Chrome trace_event JSON file: event counts per
  * class and kind, the cycle span, and the first/last detector events
  * (the usual "when did classification settle" question, answerable
@@ -754,6 +1107,10 @@ cmdTraceInfo(const Args &args)
 
     std::map<std::string, std::uint64_t> by_class;
     std::map<std::string, std::uint64_t> by_kind;
+    // Per-tenant attribution (scenario traces stamp every event with
+    // its owning tenant; single-workload traces are all tenant 0).
+    std::map<std::uint64_t, std::uint64_t> by_tenant;
+    std::map<std::uint64_t, std::uint64_t> detect_by_tenant;
     std::uint64_t total = 0;
     double first_ts = 0, last_ts = 0;
     bool have_span = false;
@@ -781,7 +1138,13 @@ cmdTraceInfo(const Args &args)
         if (!have_span || ts > last_ts)
             last_ts = ts;
         have_span = true;
+        std::uint64_t tenant = 0;
+        if (e.at("args").contains("tenant"))
+            tenant = static_cast<std::uint64_t>(
+                e.at("args").at("tenant").asNumber());
+        ++by_tenant[tenant];
         if (cat == "detect") {
+            ++detect_by_tenant[tenant];
             const std::string &payload =
                 e.at("args").at("payload").asString();
             if (!first_detect.set)
@@ -807,6 +1170,19 @@ cmdTraceInfo(const Args &args)
     for (const auto &[kind, count] : by_kind)
         std::printf("  %-16s %llu\n", kind.c_str(),
                     static_cast<unsigned long long>(count));
+    // Only worth a section when the trace actually interleaves
+    // tenants; a single-tenant trace would print one all-zeros row.
+    if (by_tenant.size() > 1) {
+        std::puts("per tenant:");
+        for (const auto &[tenant, count] : by_tenant)
+            std::printf("  tenant %-3llu %llu events (%llu detect)\n",
+                        static_cast<unsigned long long>(tenant),
+                        static_cast<unsigned long long>(count),
+                        static_cast<unsigned long long>(
+                            detect_by_tenant.count(tenant)
+                                ? detect_by_tenant.at(tenant)
+                                : 0));
+    }
     if (first_detect.set) {
         std::printf("first detector event: %s @ cycle %.0f "
                     "(payload %s)\n",
@@ -891,6 +1267,8 @@ main(int argc, char **argv)
         return cmdBenchSelf(Args(argc, argv, 2));
     if (cmd == "bench-sweep")
         return cmdBenchSweep(Args(argc, argv, 2));
+    if (cmd == "bench-tenants")
+        return cmdBenchTenants(Args(argc, argv, 2));
     // Check before "trace": that prefix names the workload-trace
     // subcommands, while trace-info summarizes a --trace export.
     if (cmd == "trace-info")

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * The multi-tenant scenario engine and the core scenario-experiment
+ * layer: single-tenant equivalence with the legacy run path,
+ * determinism across repeats and shard counts, time-slice/partition
+ * semantics, accuracy attribution, and the JSON / result-cache
+ * round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <unistd.h>
+
+#include "core/result_cache.hh"
+#include "core/scenario.hh"
+#include "gpu/presets.hh"
+#include "gpu/simulator.hh"
+#include "schemes/schemes.hh"
+#include "workload/benchmarks.hh"
+#include "workload/scenario.hh"
+
+using namespace shmgpu;
+using namespace shmgpu::core;
+
+namespace
+{
+
+/** Enough SMs/partitions that partitioned splits are non-trivial. */
+gpu::GpuParams
+scnConfig()
+{
+    gpu::GpuParams gp = gpu::testConfig();
+    gp.numSms = 8;
+    gp.numPartitions = 6;
+    return gp;
+}
+
+/** The standard two-tenant mix: a streamer plus a late random tenant. */
+workload::ScenarioSpec
+twoTenantMix(workload::SharePolicy policy, Cycle quantum,
+             bool flush_mdc = false)
+{
+    workload::ScenarioSpec scn;
+    scn.name = "mix";
+    scn.policy = policy;
+    scn.quantumCycles = quantum;
+    scn.flushMdcOnSwitch = flush_mdc;
+    scn.tenants.push_back({"stream", workload::makeStreamingMicro(), 0});
+    scn.tenants.push_back({"random", workload::makeRandomMicro(), 3000});
+    return scn;
+}
+
+struct ScenarioRun
+{
+    gpu::ScenarioMetrics metrics;
+    std::string stats;
+};
+
+ScenarioRun
+runScenario(const gpu::GpuParams &gp, schemes::Scheme scheme,
+            const workload::ScenarioSpec &scn)
+{
+    gpu::GpuSimulator sim(gp, schemes::makeMeeParams(scheme), scn);
+    ScenarioRun r;
+    r.metrics = sim.runScenario();
+    std::ostringstream os;
+    sim.statsRoot().dump(os);
+    r.stats = os.str();
+    return r;
+}
+
+/** Self-cleaning per-test cache directory under $TMPDIR. */
+struct TempDir
+{
+    std::filesystem::path path;
+
+    explicit TempDir(const char *tag)
+    {
+        path = std::filesystem::temp_directory_path() /
+               ("shmgpu-scn-" + std::string(tag) + "-" +
+                std::to_string(::getpid()));
+        std::filesystem::remove_all(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+
+    std::string str() const { return path.string(); }
+};
+
+std::string
+dumpJson(const json::Value &v)
+{
+    std::ostringstream os;
+    v.write(os, 2);
+    return os.str();
+}
+
+} // namespace
+
+// The satellite contract: wrapping a workload as the degenerate
+// scenario must reproduce the legacy single-workload run bit for bit —
+// the entire stats tree, not just the headline metrics.
+TEST(Scenario, SingleTenantMatchesLegacyRun)
+{
+    const gpu::GpuParams gp = scnConfig();
+    const workload::WorkloadSpec spec = workload::makeMixedMicro();
+    const mee::MeeParams mp =
+        schemes::makeMeeParams(schemes::Scheme::Shm);
+
+    gpu::GpuSimulator legacy(gp, mp, spec);
+    gpu::RunMetrics lm = legacy.run();
+    std::ostringstream legacy_stats;
+    legacy.statsRoot().dump(legacy_stats);
+
+    // The simulator keeps a pointer to the scenario, so it must
+    // outlive the run.
+    const workload::ScenarioSpec solo =
+        workload::singleTenantScenario(spec);
+    gpu::GpuSimulator scn(gp, mp, solo);
+    gpu::ScenarioMetrics sm = scn.runScenario();
+    std::ostringstream scn_stats;
+    scn.statsRoot().dump(scn_stats);
+
+    EXPECT_EQ(scn_stats.str(), legacy_stats.str());
+    EXPECT_EQ(sm.total.cycles, lm.cycles);
+    EXPECT_EQ(sm.total.instructions, lm.instructions);
+    EXPECT_DOUBLE_EQ(sm.total.ipc, lm.ipc);
+    EXPECT_EQ(sm.contextSwitches, 0u);
+    ASSERT_EQ(sm.tenants.size(), 1u);
+    EXPECT_EQ(sm.tenants[0].instructions, lm.instructions);
+}
+
+TEST(Scenario, RepeatedRunIsDeterministic)
+{
+    const gpu::GpuParams gp = scnConfig();
+    const auto scn =
+        twoTenantMix(workload::SharePolicy::TimeSliced, 2000, true);
+    ScenarioRun a = runScenario(gp, schemes::Scheme::Shm, scn);
+    ScenarioRun b = runScenario(gp, schemes::Scheme::Shm, scn);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+// --shards must never change a scenario's bytes: the engine is serial
+// by construction (the ctor clamps the shard count), which is what
+// lets CI byte-compare scenario runs across parallelism settings.
+TEST(Scenario, ShardCountDoesNotChangeStats)
+{
+    const auto scn =
+        twoTenantMix(workload::SharePolicy::TimeSliced, 2000);
+    gpu::GpuParams gp = scnConfig();
+    ScenarioRun serial = runScenario(gp, schemes::Scheme::Shm, scn);
+    for (std::uint32_t shards : {2u, 4u}) {
+        gp.shards = shards;
+        ScenarioRun sharded =
+            runScenario(gp, schemes::Scheme::Shm, scn);
+        EXPECT_EQ(sharded.stats, serial.stats)
+            << "shards=" << shards;
+    }
+}
+
+TEST(Scenario, ArrivalDelaysFirstDispatch)
+{
+    const auto r = runScenario(
+        scnConfig(), schemes::Scheme::Shm,
+        twoTenantMix(workload::SharePolicy::TimeSliced, 5000));
+    ASSERT_EQ(r.metrics.tenants.size(), 2u);
+    EXPECT_EQ(r.metrics.tenants[0].startCycle, 0u);
+    EXPECT_GE(r.metrics.tenants[1].startCycle, 3000u);
+    EXPECT_EQ(r.metrics.tenants[1].arrivalCycle, 3000u);
+}
+
+TEST(Scenario, SmallerQuantumMeansMoreSwitches)
+{
+    const gpu::GpuParams gp = scnConfig();
+    const auto coarse = runScenario(
+        gp, schemes::Scheme::Shm,
+        twoTenantMix(workload::SharePolicy::TimeSliced, 20000));
+    const auto fine = runScenario(
+        gp, schemes::Scheme::Shm,
+        twoTenantMix(workload::SharePolicy::TimeSliced, 1000));
+    EXPECT_GT(fine.metrics.contextSwitches,
+              coarse.metrics.contextSwitches);
+    // Each tenant is re-dispatched after every preemption.
+    EXPECT_GT(fine.metrics.tenants[0].dispatches, 1u);
+}
+
+TEST(Scenario, PartitionedModeNeverSwitches)
+{
+    const auto r = runScenario(
+        scnConfig(), schemes::Scheme::Shm,
+        twoTenantMix(workload::SharePolicy::Partitioned, 1000));
+    EXPECT_EQ(r.metrics.contextSwitches, 0u);
+    EXPECT_EQ(r.metrics.mdcFlushWritebacks, 0u);
+    ASSERT_EQ(r.metrics.tenants.size(), 2u);
+    for (const auto &t : r.metrics.tenants)
+        EXPECT_GT(t.instructions, 0u);
+}
+
+TEST(Scenario, MdcFlushEmitsWritebacks)
+{
+    const gpu::GpuParams gp = scnConfig();
+    const auto kept = runScenario(
+        gp, schemes::Scheme::Shm,
+        twoTenantMix(workload::SharePolicy::TimeSliced, 1000, false));
+    const auto flushed = runScenario(
+        gp, schemes::Scheme::Shm,
+        twoTenantMix(workload::SharePolicy::TimeSliced, 1000, true));
+    EXPECT_EQ(kept.metrics.mdcFlushWritebacks, 0u);
+    EXPECT_GT(flushed.metrics.mdcFlushWritebacks, 0u);
+}
+
+// runScenarioExperiment's two-pass attribution must populate the
+// per-tenant detector tallies and the solo-reference deltas — the
+// headline quantum-degradation experiment depends on both.
+TEST(ScenarioExperiment, AttributionAndSoloReferences)
+{
+    const auto scn =
+        twoTenantMix(workload::SharePolicy::TimeSliced, 2000);
+    ScenarioExperimentResult r = runScenarioExperiment(
+        scnConfig(), schemes::Scheme::Shm, scn);
+
+    ASSERT_EQ(r.tenants.size(), 2u);
+    EXPECT_GT(r.meanSlowdown, 0.5);
+    for (const auto &t : r.tenants) {
+        EXPECT_GT(t.shared.roCorrect + t.shared.roMispredicts, 0u)
+            << t.shared.name;
+        EXPECT_GT(t.shared.strCorrect + t.shared.strMispredicts, 0u)
+            << t.shared.name;
+        EXPECT_GT(t.soloIpc, 0.0);
+        EXPECT_GT(t.soloMdcHitRate, 0.0);
+        EXPECT_GT(t.soloRoAccuracy, 0.0);
+        // A tenant can never run faster shared than solo by much.
+        EXPECT_GT(t.slowdown, 0.9) << t.shared.name;
+    }
+}
+
+TEST(ScenarioExperiment, WithoutSoloLeavesDeltasZero)
+{
+    ScenarioRunOptions opts;
+    opts.withSolo = false;
+    ScenarioExperimentResult r = runScenarioExperiment(
+        scnConfig(), schemes::Scheme::Shm,
+        twoTenantMix(workload::SharePolicy::TimeSliced, 2000), opts);
+    EXPECT_EQ(r.meanSlowdown, 0.0);
+    for (const auto &t : r.tenants) {
+        EXPECT_EQ(t.soloIpc, 0.0);
+        EXPECT_EQ(t.slowdown, 0.0);
+    }
+}
+
+TEST(ScenarioExperiment, JsonRoundTripIsExact)
+{
+    ScenarioExperimentResult r = runScenarioExperiment(
+        scnConfig(), schemes::Scheme::Shm,
+        twoTenantMix(workload::SharePolicy::TimeSliced, 2000));
+    json::Value j = scenarioResultToJson(r);
+    ScenarioExperimentResult back = scenarioResultFromJson(j);
+    EXPECT_EQ(dumpJson(scenarioResultToJson(back)), dumpJson(j));
+}
+
+// Cell persistence: a second identical grid must load every cell from
+// the cache and produce byte-identical results; a different quantum
+// must key a different cell.
+TEST(ScenarioExperiment, CellsRoundTripThroughResultCache)
+{
+    TempDir dir("cells");
+    ResultCache cache(dir.str());
+
+    const gpu::GpuParams gp = scnConfig();
+    const auto scn =
+        twoTenantMix(workload::SharePolicy::TimeSliced, 2000);
+    std::vector<ScenarioCell> cells = {
+        {schemes::Scheme::Shm, &scn},
+        {schemes::Scheme::Naive, &scn},
+    };
+
+    ScenarioSweepOptions opts;
+    opts.cache = &cache;
+    SweepTally cold;
+    opts.tally = &cold;
+    auto first = runScenarioCells(gp, cells, opts);
+    EXPECT_EQ(cold.simulated, 2u);
+    EXPECT_EQ(cold.cached, 0u);
+
+    SweepTally warm;
+    opts.tally = &warm;
+    auto second = runScenarioCells(gp, cells, opts);
+    EXPECT_EQ(warm.simulated, 0u);
+    EXPECT_EQ(warm.cached, 2u);
+
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(dumpJson(scenarioResultToJson(second[i])),
+                  dumpJson(scenarioResultToJson(first[i])))
+            << "cell " << i;
+
+    // The quantum is part of the content hash, so a different quantum
+    // must miss.
+    auto other = twoTenantMix(workload::SharePolicy::TimeSliced, 4000);
+    std::vector<ScenarioCell> other_cells = {
+        {schemes::Scheme::Shm, &other}};
+    SweepTally miss;
+    opts.tally = &miss;
+    runScenarioCells(gp, other_cells, opts);
+    EXPECT_EQ(miss.simulated, 1u);
+}
+
+// --jobs must never change result bytes (slot-indexed results, solo
+// references memoized with call_once).
+TEST(ScenarioExperiment, JobCountDoesNotChangeResults)
+{
+    const gpu::GpuParams gp = scnConfig();
+    const auto ts =
+        twoTenantMix(workload::SharePolicy::TimeSliced, 2000);
+    const auto part =
+        twoTenantMix(workload::SharePolicy::Partitioned, 2000);
+    std::vector<ScenarioCell> cells = {
+        {schemes::Scheme::Shm, &ts},
+        {schemes::Scheme::Naive, &ts},
+        {schemes::Scheme::Shm, &part},
+    };
+
+    ScenarioSweepOptions serial;
+    serial.jobs = 1;
+    auto want = runScenarioCells(gp, cells, serial);
+
+    ScenarioSweepOptions wide;
+    wide.jobs = 4;
+    auto got = runScenarioCells(gp, cells, wide);
+
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        EXPECT_EQ(dumpJson(scenarioResultToJson(got[i])),
+                  dumpJson(scenarioResultToJson(want[i])))
+            << "cell " << i;
+}
+
+TEST(ScenarioExperiment, SweepDocumentIsDeterministic)
+{
+    const auto scn =
+        twoTenantMix(workload::SharePolicy::TimeSliced, 2000);
+    std::vector<ScenarioCell> cells = {{schemes::Scheme::Shm, &scn}};
+    auto results = runScenarioCells(scnConfig(), cells, {});
+    json::Value doc = scenarioSweepToJson(results);
+    EXPECT_EQ(doc.at("kind").asString(), "scenario-sweep");
+    EXPECT_EQ(doc.at("results").size(), 1u);
+    EXPECT_EQ(dumpJson(scenarioSweepToJson(results)), dumpJson(doc));
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Cross-tenant key-domain isolation: two tenants of a shared GPU get
+ * independent (K1, K2, K3) tuples plus a tenant tag in every seed and
+ * MAC, so no tenant can decrypt or authenticate another tenant's
+ * lines — even with full physical access to the shared DRAM. These
+ * tests mount the actual attacks: splicing one tenant's ciphertext,
+ * MAC, and counters into another tenant's off-chip state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/keygen.hh"
+#include "mee/functional.hh"
+
+using namespace shmgpu;
+using namespace shmgpu::mee;
+using shmgpu::crypto::DataBlock;
+
+namespace
+{
+
+constexpr std::uint64_t kMasterSeed = 7;
+
+meta::LayoutParams
+smallLayout()
+{
+    meta::LayoutParams p;
+    p.dataBytes = 1 << 20;
+    return p;
+}
+
+DataBlock
+pattern(std::uint8_t seed)
+{
+    DataBlock b;
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b[i] = static_cast<std::uint8_t>(seed + i * 3);
+    return b;
+}
+
+SecureMemoryContext
+tenantContext(std::uint32_t tenant)
+{
+    return SecureMemoryContext(smallLayout(), kMasterSeed,
+                               detect::ReadOnlyDetectorParams{}, tenant);
+}
+
+} // namespace
+
+TEST(TenantKeys, TenantZeroIsTheLegacyDomain)
+{
+    crypto::KeyTuple legacy = crypto::generateKeys(kMasterSeed);
+    crypto::KeyTuple t0 = crypto::generateTenantKeys(kMasterSeed, 0);
+    EXPECT_EQ(t0.encryptionKey, legacy.encryptionKey);
+    EXPECT_EQ(t0.macKey, legacy.macKey);
+    EXPECT_EQ(t0.treeKey, legacy.treeKey);
+}
+
+TEST(TenantKeys, DomainsAreIndependent)
+{
+    crypto::KeyTuple t0 = crypto::generateTenantKeys(kMasterSeed, 0);
+    crypto::KeyTuple t1 = crypto::generateTenantKeys(kMasterSeed, 1);
+    crypto::KeyTuple t2 = crypto::generateTenantKeys(kMasterSeed, 2);
+    EXPECT_NE(t1.encryptionKey, t0.encryptionKey);
+    EXPECT_NE(t1.macKey, t0.macKey);
+    EXPECT_NE(t1.treeKey, t0.treeKey);
+    EXPECT_NE(t2.encryptionKey, t1.encryptionKey);
+    EXPECT_NE(t2.macKey, t1.macKey);
+
+    // Same tenant id, different master seed: also independent.
+    crypto::KeyTuple other = crypto::generateTenantKeys(kMasterSeed + 1, 1);
+    EXPECT_NE(other.encryptionKey, t1.encryptionKey);
+}
+
+TEST(TenantIsolation, CiphertextsDifferAcrossTenants)
+{
+    SecureMemoryContext a = tenantContext(1);
+    SecureMemoryContext b = tenantContext(2);
+    DataBlock plain = pattern(5);
+    a.hostWrite(0x1000, plain);
+    b.hostWrite(0x1000, plain);
+    // Same plaintext, address, and counter state — different keys and
+    // tenant tags, so the off-chip bytes must differ.
+    EXPECT_NE(a.memory().readBlock(0x1000), b.memory().readBlock(0x1000));
+}
+
+TEST(TenantIsolation, ReadOnlySpliceIsDetected)
+{
+    SecureMemoryContext victim = tenantContext(1);
+    SecureMemoryContext attacker = tenantContext(2);
+    DataBlock secret = pattern(11);
+    DataBlock decoy = pattern(13);
+    victim.hostWrite(0x2000, secret);
+    attacker.hostWrite(0x2000, decoy);
+
+    // Splice the attacker's ciphertext + MAC into the victim's DRAM
+    // (the shared-counter read-only path, where the MAC is the only
+    // gate — no BMT walk).
+    victim.replayBlock(attacker.snapshotBlock(0x2000));
+    auto r = victim.deviceRead(0x2000);
+    EXPECT_EQ(r.status, VerifyStatus::MacMismatch);
+}
+
+TEST(TenantIsolation, PerBlockCounterSpliceIsDetected)
+{
+    SecureMemoryContext victim = tenantContext(1);
+    SecureMemoryContext attacker = tenantContext(2);
+    victim.deviceWrite(0x3000, pattern(17));
+    attacker.deviceWrite(0x3000, pattern(19));
+
+    // Ciphertext, MAC, *and* counters spliced: the MAC key and tenant
+    // tag still differ, so authentication fails before freshness is
+    // even consulted.
+    victim.replayBlock(attacker.snapshotBlock(0x3000));
+    auto r = victim.deviceRead(0x3000);
+    EXPECT_EQ(r.status, VerifyStatus::MacMismatch);
+}
+
+TEST(TenantIsolation, SameDomainControl)
+{
+    // Control: identical tenant id and master seed IS the same key
+    // domain — the splice that fails across tenants succeeds here,
+    // proving the isolation above comes from the domain separation.
+    SecureMemoryContext a = tenantContext(3);
+    SecureMemoryContext b = tenantContext(3);
+    DataBlock plain = pattern(23);
+    a.hostWrite(0x4000, plain);
+    b.hostWrite(0x4000, pattern(29));
+
+    b.replayBlock(a.snapshotBlock(0x4000));
+    auto r = b.deviceRead(0x4000);
+    EXPECT_EQ(r.status, VerifyStatus::Ok);
+    EXPECT_EQ(r.data, plain);
+}
+
+TEST(TenantIsolation, TenantZeroContextMatchesLegacyContext)
+{
+    // A tenant-0 context and a legacy (no tenant argument) context
+    // produce identical off-chip bytes: single-tenant scenarios are
+    // bit-compatible with the legacy path down to the ciphertext.
+    SecureMemoryContext legacy(smallLayout(), kMasterSeed);
+    SecureMemoryContext t0 = tenantContext(0);
+    DataBlock plain = pattern(31);
+    legacy.hostWrite(0x5000, plain);
+    t0.hostWrite(0x5000, plain);
+    EXPECT_EQ(legacy.memory().readBlock(0x5000),
+              t0.memory().readBlock(0x5000));
+
+    t0.replayBlock(legacy.snapshotBlock(0x5000));
+    EXPECT_EQ(t0.deviceRead(0x5000).status, VerifyStatus::Ok);
+}

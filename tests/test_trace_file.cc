@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "common/rng.hh"
@@ -30,7 +31,14 @@ class TraceFileTest : public ::testing::Test
     void
     SetUp() override
     {
-        path = ::testing::TempDir() + "shmgpu_trace_test.trace";
+        // Unique per test *and* process: ctest -j runs each test of
+        // this fixture in its own concurrent process, so a fixed name
+        // lets parallel tests clobber each other's file.
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        path = ::testing::TempDir() + "shmgpu_trace_" +
+               info->name() + "_" + std::to_string(::getpid()) +
+               ".trace";
     }
 
     void TearDown() override { std::remove(path.c_str()); }
