@@ -35,11 +35,14 @@ import sys
 # scope bench-tenants results (BENCH_tenants.json): a multi-tenant
 # run's cost scales with the mix, so only identically-shaped scenario
 # benches compare — and the keys keep a bench-tenants file from ever
-# being compared against a single-workload baseline.
+# being compared against a single-workload baseline. "schemes" and
+# "adaptEpoch" scope bench-self grids recorded with --schemes /
+# --adapt-epoch (the SHM_adaptive perf-smoke baseline), so an
+# adaptive-grid run never compares against the classic 3x3.
 CONFIG_KEYS = ("benchmark", "gpu", "kernel_loop", "policy",
                "max_cycles_per_kernel", "cells", "shards",
                "cryptoBackend", "resultsDir", "zipf", "scenario",
-               "tenants")
+               "tenants", "schemes", "adaptEpoch")
 
 
 def load(path):

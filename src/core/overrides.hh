@@ -17,6 +17,9 @@
  *   mee.mac_bytes          = 8
  *   mee.bmt_arity          = 16
  *   mee.static_space_hints = true
+ *   mee.adapt_epoch        = 50000 # SHM_adaptive reclassify period
+ *   mee.adapt_thresholds   = 4,16,0.9  # roMinReads,streamMinReads,
+ *                                      # macOnlyMissRate
  *   gpu.shard_spin         = 4096  # barrier spin-then-futex threshold
  *   crypto.backend         = auto  # auto/scalar/aesni/vaes
  *
@@ -40,6 +43,13 @@ void applyGpuOverrides(Config &config, gpu::GpuParams &params);
 
 /** Apply "mee.*" keys to @p params. */
 void applyMeeOverrides(Config &config, mee::MeeParams &params);
+
+/**
+ * Parse the packed "roMinReads,streamMinReads,macOnlyMissRate" form
+ * of `mee.adapt_thresholds` (also the CLI's --adapt-thresholds).
+ * Fatal on malformed input or a miss rate outside [0,1].
+ */
+mee::AdaptThresholds parseAdaptThresholds(const std::string &text);
 
 /**
  * Apply "trace.*" keys to @p params:

@@ -30,13 +30,23 @@ accuracyOf(std::uint64_t correct, std::uint64_t mispredicts)
 /** The memoization key of one solo reference. */
 std::uint64_t
 soloKey(schemes::Scheme scheme, const workload::WorkloadSpec &spec,
-        std::uint64_t key_seed, mem::PolicyKind mdc_policy)
+        std::uint64_t key_seed, mem::PolicyKind mdc_policy,
+        std::optional<Cycle> adapt_epoch,
+        std::optional<mee::AdaptThresholds> adapt_thresholds)
 {
     Fingerprint h;
     h.str(schemes::schemeName(scheme));
     h.u64(workload::contentHash(spec));
     h.u64(key_seed);
     h.str(mem::policyName(mdc_policy));
+    h.boolean(adapt_epoch.has_value());
+    h.u64(adapt_epoch.value_or(0));
+    h.boolean(adapt_thresholds.has_value());
+    mee::AdaptThresholds th =
+        adapt_thresholds.value_or(mee::AdaptThresholds{});
+    h.u64(th.roMinReads);
+    h.u64(th.streamMinReads);
+    h.f64(th.macOnlyMissRate);
     return h.value();
 }
 
@@ -69,12 +79,18 @@ collectScenarioProfile(const gpu::GpuParams &gpu_params,
 gpu::TenantRunMetrics
 simulateSolo(const gpu::GpuParams &gpu_params, schemes::Scheme scheme,
              const workload::WorkloadSpec &spec, std::uint64_t key_seed,
-             mem::PolicyKind mdc_policy)
+             mem::PolicyKind mdc_policy,
+             std::optional<Cycle> adapt_epoch,
+             std::optional<mee::AdaptThresholds> adapt_thresholds)
 {
     workload::ScenarioSpec solo = workload::singleTenantScenario(spec);
     solo.keySeed = key_seed;
     mee::MeeParams mee_params = schemes::makeMeeParams(scheme);
     mee_params.mdcPolicy = mdc_policy;
+    if (adapt_epoch)
+        mee_params.adaptEpoch = *adapt_epoch;
+    if (adapt_thresholds)
+        mee_params.adaptThresholds = *adapt_thresholds;
     gpu::GpuSimulator sim(gpu_params, mee_params, solo);
     detect::AccessProfile profile =
         collectScenarioProfile(gpu_params, mee_params, solo);
@@ -96,9 +112,13 @@ const gpu::TenantRunMetrics &
 ScenarioSoloCache::soloFor(schemes::Scheme scheme,
                            const workload::WorkloadSpec &spec,
                            std::uint64_t key_seed,
-                           mem::PolicyKind mdc_policy)
+                           mem::PolicyKind mdc_policy,
+                           std::optional<Cycle> adapt_epoch,
+                           std::optional<mee::AdaptThresholds>
+                               adapt_thresholds)
 {
-    const std::uint64_t key = soloKey(scheme, spec, key_seed, mdc_policy);
+    const std::uint64_t key = soloKey(scheme, spec, key_seed, mdc_policy,
+                                      adapt_epoch, adapt_thresholds);
     Entry *entry = nullptr;
     {
         std::lock_guard<std::mutex> lock(mutex);
@@ -111,7 +131,8 @@ ScenarioSoloCache::soloFor(schemes::Scheme scheme,
     // threads needing this reference (same shape as BaselineCache).
     std::call_once(entry->once, [&] {
         entry->metrics =
-            simulateSolo(gpuConfig, scheme, spec, key_seed, mdc_policy);
+            simulateSolo(gpuConfig, scheme, spec, key_seed, mdc_policy,
+                         adapt_epoch, adapt_thresholds);
     });
     return entry->metrics;
 }
@@ -133,12 +154,17 @@ runScenarioExperiment(const gpu::GpuParams &gpu_params,
 
     mee::MeeParams mee_params = schemes::makeMeeParams(scheme);
     mee_params.mdcPolicy = options.mdcPolicy;
+    if (options.adaptEpoch)
+        mee_params.adaptEpoch = *options.adaptEpoch;
+    if (options.adaptThresholds)
+        mee_params.adaptThresholds = *options.adaptThresholds;
     gpu::GpuSimulator sim(gpu_params, mee_params, scenario);
 
     // Detector accuracy is the scenario headline, so attribution is
     // always on. The oracle scheme additionally starts each run with
-    // perfect knowledge; context switches still reset it to
-    // learned-from-scratch, which is the realistic sharing model.
+    // perfect knowledge, and every context switch re-primes the
+    // incoming tenant's partitions after the switch-time detector
+    // flush (command-processor work, like the RO re-arm).
     detect::AccessProfile profile =
         collectScenarioProfile(gpu_params, mee_params, scenario);
     if (schemes::needsProfilePass(scheme))
@@ -183,7 +209,9 @@ runScenarioExperiment(const gpu::GpuParams &gpu_params,
         if (options.withSolo) {
             const gpu::TenantRunMetrics &solo =
                 solos->soloFor(scheme, scenario.tenants[i].workload,
-                               scenario.keySeed, options.mdcPolicy);
+                               scenario.keySeed, options.mdcPolicy,
+                               options.adaptEpoch,
+                               options.adaptThresholds);
             t.soloIpc = solo.ipc;
             t.soloMdcHitRate = solo.mdcHitRate;
             t.soloRoAccuracy =
@@ -252,6 +280,8 @@ runScenarioCells(const gpu::GpuParams &gpu_params,
                 if (options.cache) {
                     key = scenarioCellKey(gpu_params, energy,
                                           run.withSolo, run.mdcPolicy,
+                                          run.adaptEpoch,
+                                          run.adaptThresholds,
                                           cells[i].scheme,
                                           *cells[i].scenario, backend,
                                           code_version);

@@ -86,6 +86,7 @@ class Partition : public mee::VictimCacheIf
     {
         return gpuConfig.l2HitLatency;
     }
+    double victimMissRate() const override;
     /** @} */
 
     mem::DramChannel &channel() { return dram; }

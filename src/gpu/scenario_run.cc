@@ -636,6 +636,14 @@ GpuSimulator::contextSwitchTo(std::uint32_t pick, Cycle now)
     for (const auto &r : t.armedRanges)
         for (PartitionId p = t.partLo; p < t.partHi; ++p)
             partitions[p]->hostCopy(r.lo, r.len, r.declared);
+
+    // Oracle schemes (SHM_upper_bound): the switch-out flush also
+    // dropped the profile-primed predictions, so re-prime the incoming
+    // tenant's partitions — command-processor work, free like the
+    // re-arm above.
+    if (primedProfile)
+        for (PartitionId p = t.partLo; p < t.partHi; ++p)
+            partitions[p]->mee().primeFromProfile(*primedProfile);
 }
 
 void

@@ -252,6 +252,7 @@ GpuSimulator::attributeAgainst(const detect::AccessProfile *profile)
 void
 GpuSimulator::primeFromProfile(const detect::AccessProfile &profile)
 {
+    primedProfile = &profile;
     for (auto &p : partitions)
         p->mee().primeFromProfile(profile);
 }
@@ -925,6 +926,9 @@ GpuSimulator::gatherMetrics() const
         m.dualMacFallbacks += mee.dualMacFallbacks();
         m.victimHits += mee.victimHits();
         m.victimInserts += mee.victimInserts();
+        m.adaptDemotions += mee.adaptDemotions();
+        m.adaptPromotions += mee.adaptPromotions();
+        m.adaptReencBytes += mee.adaptReencBytes();
 
         m.energy.mdcAccesses += static_cast<std::uint64_t>(
             mee.counterCache().accesses() + mee.macCache().accesses() +

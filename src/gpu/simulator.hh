@@ -322,6 +322,12 @@ class GpuSimulator : public mee::DramRouter
     /** Cycles the event engine advanced over without enumerating. */
     std::uint64_t cyclesSkipped = 0;
     detect::AccessProfile *collector = nullptr;
+    /** Profile primeFromProfile was last applied from, kept so every
+     *  scenario context switch can re-prime the incoming tenant's
+     *  partitions after the switch-time detector flush (otherwise
+     *  SHM_upper_bound degrades to learned-from-scratch after the
+     *  first quantum). Owned by the caller, outlives the run. */
+    const detect::AccessProfile *primedProfile = nullptr;
 
     stats::StatGroup rootStats;
     stats::Scalar statCycles;

@@ -123,12 +123,15 @@ usage()
               " [--policy lru|fifo|random|s3fifo|sieve]"
               " [--crypto auto|scalar|aesni|vaes]"
               " [--overrides CFG]"
+              " [--adapt-epoch N] [--adapt-thresholds R,S,M]"
               " [--stats FILE] [--json FILE] [--accuracy] [--profile]"
               " [--reference-loop] [--no-solo]"
               " [--trace OUT.json] [--trace-text OUT.txt]\n"
               "  shmgpu sweep [--workloads a,b,c|all] [--schemes X,Y|all]"
               " [--jobs N] [--gpu turing|big|test] [--cycles N]"
               " [--shards N] [--policy P] [--policies P,Q|all]"
+              " [--adapt-epoch N] [--adapt-thresholds R,S,M]"
+              " [--adapt-epochs E1,E2,...]"
               " [--zipf-footprints S1,S2,... [--zipf-alphas A1,A2,...]]"
               " [--scenario FILE [--quantums Q1,Q2,...]"
               " [--share timeslice,partitioned] [--tenants N1,N2,...]"
@@ -143,6 +146,7 @@ usage()
               "  shmgpu trace-info --in TRACE.json\n"
               "  shmgpu bench-self [--quick] [--cycles N] [--reps N]"
               " [--gpu turing|big|test] [--shards N] [--policy P]"
+              " [--schemes X,Y] [--adapt-epoch N]"
               " [--crypto auto|scalar|aesni|vaes] [--overrides CFG]"
               " [--out BENCH_hotpath.json]"
               " [--profile] [--reference-loop]\n"
@@ -187,7 +191,10 @@ cmdList()
 
 gpu::GpuParams
 gpuParamsFrom(const Args &args, trace::TraceParams *trace_params = nullptr,
-              mem::PolicyKind *mdc_policy = nullptr)
+              mem::PolicyKind *mdc_policy = nullptr,
+              std::optional<Cycle> *adapt_epoch = nullptr,
+              std::optional<mee::AdaptThresholds> *adapt_thresholds =
+                  nullptr)
 {
     gpu::GpuParams gp = gpu::presetByName(args.get("gpu", "turing"));
     std::string overrides = args.get("overrides");
@@ -195,6 +202,10 @@ gpuParamsFrom(const Args &args, trace::TraceParams *trace_params = nullptr,
         mee::MeeParams scratch; // GPU keys (+ mdc policy) in this path
         trace::TraceParams trace_scratch;
         Config config = Config::fromFile(overrides);
+        // Presence-tested before applyMeeOverrides consumes them: only
+        // keys the file actually sets become RunOptions overrides.
+        bool had_adapt_epoch = config.has("mee.adapt_epoch");
+        bool had_adapt_thresholds = config.has("mee.adapt_thresholds");
         core::applyGpuOverrides(config, gp);
         core::applyMeeOverrides(config, scratch);
         core::applyTraceOverrides(
@@ -203,6 +214,10 @@ gpuParamsFrom(const Args &args, trace::TraceParams *trace_params = nullptr,
         config.assertConsumed();
         if (mdc_policy)
             *mdc_policy = scratch.mdcPolicy;
+        if (adapt_epoch && had_adapt_epoch)
+            *adapt_epoch = scratch.adaptEpoch;
+        if (adapt_thresholds && had_adapt_thresholds)
+            *adapt_thresholds = scratch.adaptThresholds;
     }
     // --policy switches L2 and metadata caches together, overriding
     // any cache.policy / mee.mdc_policy from the file.
@@ -213,6 +228,14 @@ gpuParamsFrom(const Args &args, trace::TraceParams *trace_params = nullptr,
         if (mdc_policy)
             *mdc_policy = kind;
     }
+    // --adapt-epoch / --adapt-thresholds win over the file, like
+    // --policy above.
+    std::string epoch_arg = args.get("adapt-epoch");
+    if (!epoch_arg.empty() && adapt_epoch)
+        *adapt_epoch = static_cast<Cycle>(std::stoull(epoch_arg));
+    std::string th_arg = args.get("adapt-thresholds");
+    if (!th_arg.empty() && adapt_thresholds)
+        *adapt_thresholds = core::parseAdaptThresholds(th_arg);
     std::string cycles = args.get("cycles");
     if (!cycles.empty())
         gp.maxCyclesPerKernel = std::stoull(cycles);
@@ -286,7 +309,8 @@ cmdRunScenario(const Args &args)
 
     core::ScenarioRunOptions opts;
     gpu::GpuParams gp = gpuParamsFrom(args, &opts.traceParams,
-                                      &opts.mdcPolicy);
+                                      &opts.mdcPolicy, &opts.adaptEpoch,
+                                      &opts.adaptThresholds);
     opts.withSolo = !args.has("no-solo");
     opts.tracePath = args.get("trace");
     opts.traceTextPath = args.get("trace-text");
@@ -311,6 +335,10 @@ cmdRunScenario(const Args &args)
     if (args.has("stats")) {
         mee::MeeParams mp = schemes::makeMeeParams(scheme);
         mp.mdcPolicy = opts.mdcPolicy;
+        if (opts.adaptEpoch)
+            mp.adaptEpoch = *opts.adaptEpoch;
+        if (opts.adaptThresholds)
+            mp.adaptThresholds = *opts.adaptThresholds;
         gpu::GpuSimulator sim(gpuParamsFrom(args), mp, scn);
         sim.runScenario();
         std::ofstream out(args.get("stats"));
@@ -345,7 +373,8 @@ cmdRun(const Args &args)
 
     core::RunOptions opts;
     gpu::GpuParams gp = gpuParamsFrom(args, &opts.traceParams,
-                                      &opts.mdcPolicy);
+                                      &opts.mdcPolicy, &opts.adaptEpoch,
+                                      &opts.adaptThresholds);
     core::Experiment exp(gp);
     opts.collectAccuracy = args.has("accuracy");
     opts.tracePath = args.get("trace");
@@ -377,6 +406,10 @@ cmdRun(const Args &args)
     if (args.has("stats") || args.has("json")) {
         mee::MeeParams mp = schemes::makeMeeParams(scheme);
         mp.mdcPolicy = opts.mdcPolicy;
+        if (opts.adaptEpoch)
+            mp.adaptEpoch = *opts.adaptEpoch;
+        if (opts.adaptThresholds)
+            mp.adaptThresholds = *opts.adaptThresholds;
         gpu::GpuSimulator sim(gpuParamsFrom(args), mp, w);
         sim.run();
         if (args.has("stats")) {
@@ -511,7 +544,9 @@ cmdSweepScenario(const Args &args)
     opts.jobs = static_cast<unsigned>(std::stoul(args.get("jobs", "1")));
     opts.run.withSolo = !args.has("no-solo");
     gpu::GpuParams gp = gpuParamsFrom(args, &opts.run.traceParams,
-                                      &opts.run.mdcPolicy);
+                                      &opts.run.mdcPolicy,
+                                      &opts.run.adaptEpoch,
+                                      &opts.run.adaptThresholds);
 
     // Owned variant storage, fully built before cells take pointers.
     std::vector<workload::ScenarioSpec> variants;
@@ -609,7 +644,21 @@ cmdSweep(const Args &args)
         log_detail::setVerbose(false);
 
     gpu::GpuParams gp = gpuParamsFrom(args, &sweep_opts.run.traceParams,
-                                      &sweep_opts.run.mdcPolicy);
+                                      &sweep_opts.run.mdcPolicy,
+                                      &sweep_opts.run.adaptEpoch,
+                                      &sweep_opts.run.adaptThresholds);
+
+    // --adapt-epochs: epoch-major extra axis for the adaptive scheme.
+    // Each value fingerprints its own cache cells, so epoch grids are
+    // resumable like every other axis.
+    std::vector<std::optional<Cycle>> adapt_epochs;
+    std::string epoch_list = args.get("adapt-epochs");
+    if (epoch_list.empty()) {
+        adapt_epochs.push_back(sweep_opts.run.adaptEpoch);
+    } else {
+        for (const auto &tok : splitList(epoch_list))
+            adapt_epochs.push_back(static_cast<Cycle>(std::stoull(tok)));
+    }
 
     // Persistent cell store: cells load instead of simulating on key
     // hits and flush to disk the moment they finish, which is what
@@ -645,11 +694,21 @@ cmdSweep(const Args &args)
             }
             if (policies.empty())
                 shm_fatal("sweep selects no policies");
-            results = core::runPolicyGrid(gp, policies, designs,
-                                          workloads, sweep_opts);
+            for (auto epoch : adapt_epochs) {
+                sweep_opts.run.adaptEpoch = epoch;
+                auto part = core::runPolicyGrid(gp, policies, designs,
+                                                workloads, sweep_opts);
+                results.insert(results.end(), part.begin(), part.end());
+            }
         } else {
+            // One runner across the epoch axis: the baselines are
+            // epoch-independent and shared.
             core::SweepRunner runner(gp);
-            results = runner.run(designs, workloads, sweep_opts);
+            for (auto epoch : adapt_epochs) {
+                sweep_opts.run.adaptEpoch = epoch;
+                auto part = runner.run(designs, workloads, sweep_opts);
+                results.insert(results.end(), part.begin(), part.end());
+            }
         }
     } catch (const core::SweepCancelled &cancelled) {
         // Completed cells are kept, not discarded: with a results dir
@@ -713,11 +772,14 @@ int
 cmdBenchSelf(const Args &args)
 {
     const std::vector<std::string> workload_names = {"atax", "mvt", "bfs"};
-    const std::vector<schemes::Scheme> designs = {
-        schemes::schemeFromName("Naive"),
-        schemes::schemeFromName("PSSM"),
-        schemes::schemeFromName("SHM"),
-    };
+    // --schemes reshapes the measured grid (perf-smoke uses it to pin
+    // a separate SHM_adaptive baseline); the default stays the classic
+    // 3x3.
+    std::vector<schemes::Scheme> designs;
+    for (const auto &name :
+         splitList(args.get("schemes", "Naive,PSSM,SHM")))
+        designs.push_back(schemes::schemeFromName(name));
+    shm_assert(!designs.empty(), "bench-self needs at least one scheme");
 
     bool quick = args.has("quick");
     std::uint64_t cycles =
@@ -759,6 +821,9 @@ cmdBenchSelf(const Args &args)
         gpu::applyCachePolicy(gp, kind);
         run_opts.mdcPolicy = kind;
     }
+    std::string epoch_arg = args.get("adapt-epoch");
+    if (!epoch_arg.empty())
+        run_opts.adaptEpoch = static_cast<Cycle>(std::stoull(epoch_arg));
 
     std::vector<const workload::WorkloadSpec *> workloads;
     for (const auto &name : workload_names)
@@ -802,6 +867,23 @@ cmdBenchSelf(const Args &args)
     doc["max_cycles_per_kernel"] = cycles;
     doc["reps"] = static_cast<std::uint64_t>(reps);
     doc["cells"] = static_cast<std::uint64_t>(cells);
+    // Top-level config identity for compare_baseline.py: the nested
+    // grid object is informational, but the comparison script only
+    // matches flat keys, so the scheme list (and the adaptive epoch,
+    // when pinned) are repeated here to keep an SHM_adaptive baseline
+    // from ever being compared against the classic 3x3.
+    {
+        std::string joined;
+        for (auto scheme : designs) {
+            if (!joined.empty())
+                joined += ",";
+            joined += schemes::schemeName(scheme);
+        }
+        doc["schemes"] = joined;
+    }
+    if (run_opts.adaptEpoch)
+        doc["adaptEpoch"] =
+            static_cast<std::uint64_t>(*run_opts.adaptEpoch);
     json::Value grid = json::Value::object();
     json::Value wl = json::Value::array();
     for (const auto &name : workload_names)

@@ -235,6 +235,34 @@ TEST(ScenarioExperiment, AttributionAndSoloReferences)
     }
 }
 
+// Regression for the ROADMAP item-1 leftover: the switch-time
+// detector flush used to also drop SHM_upper_bound's profile-primed
+// predictions, degrading the oracle to learned-from-scratch after the
+// first quantum. Every context switch now re-primes the incoming
+// tenant's partitions, so the oracle's streaming accuracy must stay
+// perfect through a many-switch mix — not just in the first quantum.
+TEST(ScenarioExperiment, UpperBoundStaysPrimedAcrossSwitches)
+{
+    for (bool flush : {false, true}) {
+        const auto scn = twoTenantMix(workload::SharePolicy::TimeSliced,
+                                      2000, flush);
+        ScenarioExperimentResult r = runScenarioExperiment(
+            scnConfig(), schemes::Scheme::ShmUpperBound, scn);
+        ASSERT_GT(r.metrics.contextSwitches, 5u)
+            << "mix too short to exercise re-priming";
+        ASSERT_EQ(r.tenants.size(), 2u);
+        for (const auto &t : r.tenants) {
+            EXPECT_GE(t.shared.strAccuracy, 0.999)
+                << t.shared.name << " lost its primed predictions "
+                << "(flush=" << flush << ")";
+            // Sharing must not cost the oracle accuracy vs its solo
+            // run: both start (and stay) perfectly primed.
+            EXPECT_NEAR(t.strAccuracyDelta, 0.0, 1e-3)
+                << t.shared.name;
+        }
+    }
+}
+
 TEST(ScenarioExperiment, WithoutSoloLeavesDeltasZero)
 {
     ScenarioRunOptions opts;
